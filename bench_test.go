@@ -1,0 +1,351 @@
+package misp
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (§5). Each benchmark prints the corresponding
+// table once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full result set. Reported metrics:
+//
+//	BenchmarkFig4/<app>   speedup-MISP, speedup-SMP (vs 1P)
+//	BenchmarkTable1       serializing-event counts (printed)
+//	BenchmarkFig5         %-overhead at 500/1000/5000-cycle signals
+//	BenchmarkFig7         RayTracer multiprogramming curves
+//	BenchmarkTable2       porting assessment
+//	BenchmarkAblation*    DESIGN.md ablations A1–A3
+//	BenchmarkMicro*       machine microbenchmarks (interpreter, SIGNAL,
+//	                      proxy execution, context switch)
+//
+// Set MISP_BENCH_SIZE=test|small|ref to change the problem size
+// (default small; ref approximates the paper's scaled inputs).
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"misp/internal/asm"
+	"misp/internal/core"
+	"misp/internal/exp"
+	"misp/internal/kernel"
+	"misp/internal/shredlib"
+	"misp/internal/workloads"
+)
+
+func benchSize() workloads.Size {
+	switch os.Getenv("MISP_BENCH_SIZE") {
+	case "test":
+		return workloads.SizeTest
+	case "ref":
+		return workloads.SizeRef
+	}
+	return workloads.SizeSmall
+}
+
+// evalCache shares the expensive 16-app × 3-config evaluation between
+// the Fig4, Table1 and Fig5 benchmarks (they are three views of the
+// same measurement, exactly as in the paper).
+var (
+	evalOnce    sync.Once
+	evalResults []*exp.AppResult
+	evalErr     error
+)
+
+func evaluation(b *testing.B) []*exp.AppResult {
+	b.Helper()
+	evalOnce.Do(func() {
+		evalResults, evalErr = exp.Evaluate(exp.Options{Size: benchSize(), Seqs: 8})
+	})
+	if evalErr != nil {
+		b.Fatal(evalErr)
+	}
+	return evalResults
+}
+
+var printOnce sync.Map
+
+func printTable(name, s string) {
+	if _, dup := printOnce.LoadOrStore(name, true); !dup {
+		fmt.Printf("\n%s\n", s)
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: per-application speedup over 1P
+// for MISP 1x8 and SMP 8.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := evaluation(b)
+		printTable("fig4", exp.Fig4Table(results, 8).String())
+		for _, r := range results {
+			b.ReportMetric(r.SpeedupMISP(), "speedupMISP-"+r.Name)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: serializing events by origin.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := evaluation(b)
+		printTable("table1", exp.Table1(results).String())
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: sensitivity to signal cost,
+// measured by re-simulating at 0/500/1000/5000-cycle signals.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig5(exp.Options{Size: benchSize(), Seqs: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig5", exp.Fig5Table(rows).String())
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: RayTracer under multiprogrammed
+// load across the Figure 6 configurations.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := exp.Fig7(exp.Fig7Options{Size: benchSize(), MaxLoad: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig7", exp.Fig7Table(curves, 4).String())
+	}
+}
+
+// BenchmarkTable2 regenerates the porting assessment.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats, err := exp.AssessPorting(benchSize())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("table2", exp.Table2(stats).String())
+	}
+}
+
+// ablationApps is the subset used by the ablation benchmarks (the full
+// suite would triple the bench time without changing the story).
+var ablationApps = []string{"dense_mmm", "kmeans", "sparse_mvm_sym", "swim", "equake"}
+
+// BenchmarkAblationRingPolicy compares suspend-all vs monitor-CR ring
+// transition handling (A1, §2.3).
+func BenchmarkAblationRingPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationRingPolicy(exp.Options{Size: benchSize(), Seqs: 8, Apps: ablationApps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation_ring", exp.RingPolicyTable(rows).String())
+	}
+}
+
+// BenchmarkAblationProbe compares demand paging against the §5.3
+// page-probe optimization (A2).
+func BenchmarkAblationProbe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationProbe(exp.Options{Size: benchSize(), Seqs: 8, Apps: ablationApps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation_probe", exp.ProbeTable(rows).String())
+	}
+}
+
+// BenchmarkAblationDynamicBinding measures the §5.4/§7 future-work
+// extension: kernel-driven AMS rebinding toward a confined shredded app
+// (A4).
+func BenchmarkAblationDynamicBinding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationDynamicBinding(exp.Options{Size: benchSize(), Seqs: 8, Apps: []string{"raytracer"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation_dynamic", exp.DynamicTable(rows).String())
+	}
+}
+
+// BenchmarkAblationSignalSweep re-simulates at several signal costs and
+// compares measurement with the analytic model (A3).
+func BenchmarkAblationSignalSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationSignalSweep(
+			exp.Options{Size: benchSize(), Seqs: 8, Apps: []string{"dense_mmm", "kmeans", "swim"}}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation_sweep", exp.SweepTable(rows).String())
+	}
+}
+
+// --- machine microbenchmarks -------------------------------------------
+
+// BenchmarkMicroInterp measures raw interpreter throughput
+// (instructions per host second) on a tight arithmetic loop.
+func BenchmarkMicroInterp(b *testing.B) {
+	bd := asm.NewBuilder()
+	bd.Entry("main")
+	bd.Label("main")
+	bd.Li(10, int64(b.N))
+	bd.Li(9, 0)
+	bd.Label("loop")
+	bd.Addi(10, 10, -1)
+	bd.Bne(10, 9, "loop")
+	bd.Li(0, 1)
+	bd.Li(1, 0)
+	bd.Syscall()
+	prog := bd.MustBuild()
+
+	cfg := core.DefaultConfig(core.Topology{0})
+	cfg.PhysMem = 16 << 20
+	b.ResetTimer()
+	if _, _, err := core.RunBare(cfg, prog); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+// BenchmarkMicroSignal measures the SIGNAL round trip: start a shred,
+// have it publish, observe.
+func BenchmarkMicroSignal(b *testing.B) {
+	src := `
+main:
+    li  r10, %d
+    li  r9, 0
+outer:
+    la  r4, flag
+    std r9, [r4]
+    li  r1, 1
+    la  r2, shred
+    li  r3, 0x70020000
+    signal r1, r2, r3
+wait:
+    ldd r5, [r4]
+    beq r5, r9, wait
+    addi r10, r10, -1
+    bne r10, r9, outer
+    li  r0, 1
+    li  r1, 0
+    syscall
+shred:
+    li  r8, 1
+    la  r4, flag
+    std r8, [r4]
+park:
+    pause
+    j park
+.data
+flag: .u64 0
+`
+	// A shred parks after publishing; each iteration re-signals the
+	// parked AMS... a parked AMS cannot be re-signaled into a fresh
+	// continuation (it is running), so run iterations across machines.
+	prog := asm.MustAssemble(fmt.Sprintf(src, 1))
+	cfg := core.DefaultConfig(core.Topology{1})
+	cfg.PhysMem = 16 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.RunBare(cfg, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroProxy measures a full proxy-execution round trip
+// (AMS fault → OMS yield → PROXYEXEC → resume).
+func BenchmarkMicroProxy(b *testing.B) {
+	src := `
+main:
+    la  r1, proxy_handler
+    setyield r1, 0
+    li  r1, 1
+    la  r2, shred
+    li  r3, 0x70020000
+    signal r1, r2, r3
+    la  r4, flag
+    li  r9, 0
+wait:
+    ldd r5, [r4]
+    beq r5, r9, wait
+    li  r0, 1
+    li  r1, 0
+    syscall
+proxy_handler:
+    proxyexec r1
+    sret
+shred:
+    li  r6, 0x08000000
+    li  r7, 1
+    std r7, [r6]
+    la  r4, flag
+    std r7, [r4]
+park:
+    pause
+    j park
+.data
+flag: .u64 0
+`
+	prog := asm.MustAssemble(src)
+	cfg := core.DefaultConfig(core.Topology{1})
+	cfg.PhysMem = 16 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.RunBare(cfg, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroCtxSwitch measures kernel thread context switches with
+// AMS cumulative state (two yield-ping-pong processes on one MISP
+// processor).
+func BenchmarkMicroCtxSwitch(b *testing.B) {
+	src := `
+main:
+    li r10, 64
+    li r9, 0
+loop:
+    li r0, 5
+    syscall
+    addi r10, r10, -1
+    bne r10, r9, loop
+    li r0, 1
+    li r1, 0
+    syscall
+`
+	prog := asm.MustAssemble(src)
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(core.Topology{3})
+		cfg.PhysMem = 16 << 20
+		m, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k := kernel.New(m)
+		k.Spawn("a", prog)
+		k.Spawn("b", prog)
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroWorkloadBuild measures workload program generation
+// (assembly + link) throughput.
+func BenchmarkMicroWorkloadBuild(b *testing.B) {
+	w, err := workloads.ByName("raytracer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if p := w.Build(shredlib.ModeShred, workloads.SizeSmall); p.NumInstrs() == 0 {
+			b.Fatal("empty program")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// mispasm assembles, disassembles, and inspects SVM-32 programs.
+//
+// Usage:
+//
+//	mispasm file.svm            assemble and print the listing
+//	mispasm -symbols file.svm   also print the symbol table
+//	mispasm -run file.svm       assemble and execute under BareOS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"misp/internal/asm"
+	"misp/internal/core"
+)
+
+func main() {
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	run := flag.Bool("run", false, "execute the program under BareOS on a 1x4 MISP machine")
+	topAMS := flag.Int("ams", 3, "with -run: number of AMSs")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mispasm [-symbols] [-run] file.svm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("; %d instructions, %d data bytes, %d bss bytes, entry 0x%x\n",
+		prog.NumInstrs(), len(prog.Data), prog.BSS, prog.Entry)
+	fmt.Print(prog.Disasm())
+
+	if *symbols {
+		fmt.Println("\nsymbols:")
+		type sym struct {
+			name string
+			addr uint64
+		}
+		var syms []sym
+		for n, a := range prog.Symbols {
+			syms = append(syms, sym{n, a})
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+		for _, s := range syms {
+			fmt.Printf("  0x%08x  %s\n", s.addr, s.name)
+		}
+	}
+
+	if *run {
+		cfg := core.DefaultConfig(core.Topology{*topAMS})
+		cfg.PhysMem = 64 << 20
+		cfg.MaxCycles = 10_000_000_000
+		bos, m, err := core.RunBare(cfg, prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nexit code: %d (after %d cycles, %d instructions)\n",
+			bos.ExitCode, m.MaxClock(), m.Steps)
+		if bos.Out.Len() > 0 {
+			fmt.Printf("output:\n%s\n", bos.Out.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mispasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// mispbench regenerates the paper's tables and figures on the
+// simulated MISP machine.
+//
+// Usage:
+//
+//	mispbench [-exp all|fig4|table1|fig5|fig7|table2|ring|probe|signalsweep]
+//	          [-size test|small|ref] [-seqs 8] [-apps a,b,c] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"misp/internal/exp"
+	"misp/internal/report"
+	"misp/internal/workloads"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment: all, fig4, table1, fig5, fig7, table2, ring, probe, dynamic, signalsweep")
+	sizeName := flag.String("size", "small", "problem size: test, small, ref")
+	seqs := flag.Int("seqs", 8, "total sequencers per configuration")
+	apps := flag.String("apps", "", "comma-separated workload subset (default: all 16)")
+	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
+	maxLoad := flag.Int("load", 4, "fig7: maximum number of competing processes")
+	flag.Parse()
+
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		fatal(err)
+	}
+	opt := exp.Options{Size: size, Seqs: *seqs}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+
+	emit := func(name string, t *report.Table) {
+		fmt.Println(t.String())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(wrote %s)\n\n", path)
+		}
+	}
+
+	runEval := func() []*exp.AppResult {
+		start := time.Now()
+		results, err := exp.Evaluate(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("evaluated %d apps x 3 configs in %v (all checksums verified)\n\n",
+			len(results), time.Since(start).Round(time.Millisecond))
+		return results
+	}
+
+	which := *expName
+	var results []*exp.AppResult
+	needEval := which == "all" || which == "fig4" || which == "table1"
+	if needEval {
+		results = runEval()
+	}
+
+	if which == "all" || which == "fig4" {
+		emit("fig4", exp.Fig4Table(results, *seqs))
+	}
+	if which == "all" || which == "table1" {
+		emit("table1", exp.Table1(results))
+	}
+	if which == "all" || which == "fig5" {
+		rows, err := exp.Fig5(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig5", exp.Fig5Table(rows))
+	}
+	if which == "all" || which == "fig7" {
+		curves, err := exp.Fig7(exp.Fig7Options{Size: size, MaxLoad: *maxLoad})
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig7", exp.Fig7Table(curves, *maxLoad))
+	}
+	if which == "all" || which == "table2" {
+		stats, err := exp.AssessPorting(size)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table2", exp.Table2(stats))
+	}
+	if which == "all" || which == "ring" {
+		rows, err := exp.AblationRingPolicy(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation_ring", exp.RingPolicyTable(rows))
+	}
+	if which == "all" || which == "probe" {
+		rows, err := exp.AblationProbe(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation_probe", exp.ProbeTable(rows))
+	}
+	if which == "all" || which == "dynamic" {
+		rows, err := exp.AblationDynamicBinding(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation_dynamic", exp.DynamicTable(rows))
+	}
+	if which == "all" || which == "signalsweep" {
+		sweepOpt := opt
+		if sweepOpt.Apps == nil {
+			// The sweep re-simulates 4x per app; default to a subset.
+			sweepOpt.Apps = []string{"dense_mmm", "kmeans", "sparse_mvm", "swim"}
+		}
+		rows, err := exp.AblationSignalSweep(sweepOpt, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation_signalsweep", exp.SweepTable(rows))
+	}
+}
+
+func parseSize(s string) (workloads.Size, error) {
+	switch s {
+	case "test":
+		return workloads.SizeTest, nil
+	case "small":
+		return workloads.SizeSmall, nil
+	case "ref":
+		return workloads.SizeRef, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mispbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+// mispsim runs a single workload (or an .svm program) on one machine
+// configuration and reports detailed per-sequencer statistics — the
+// coarse-grained event accounting the paper's prototype firmware
+// provides, plus the optional fine-grained event trace (§4.1).
+//
+// Usage:
+//
+//	mispsim -w raytracer [-mode shred|thread] [-top 7 | -top 3,3] [-size small] [-trace]
+//	mispsim -run prog.svm [-top 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"misp/internal/asm"
+	"misp/internal/core"
+	"misp/internal/shredlib"
+	"misp/internal/workloads"
+)
+
+func main() {
+	wname := flag.String("w", "", "workload name (see -list)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	modeName := flag.String("mode", "shred", "runtime: shred (ShredLib) or thread (threadlib)")
+	topSpec := flag.String("top", "7", "topology: comma-separated AMS count per processor (7 = 1x8 MISP; 0,0,0,0 = 4-way SMP)")
+	sizeName := flag.String("size", "small", "problem size: test, small, ref")
+	trace := flag.Bool("trace", false, "print the fine-grained firmware event trace")
+	traceMax := flag.Int("tracemax", 200, "maximum trace events to print")
+	runFile := flag.String("run", "", "assemble and run an .svm file under BareOS instead of a workload")
+	signal := flag.Uint64("signal", 5000, "inter-sequencer signal cost in cycles")
+	policy := flag.String("ringpolicy", "suspend-all", "ring policy: suspend-all or monitor-cr")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-18s %s\n", w.Name, w.Suite)
+		}
+		return
+	}
+
+	top, err := parseTopology(*topSpec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := workloads.DefaultConfig(top)
+	cfg.SignalCost = *signal
+	cfg.TraceEvents = *trace
+	switch *policy {
+	case "suspend-all":
+		cfg.RingPolicy = core.RingSuspendAll
+	case "monitor-cr":
+		cfg.RingPolicy = core.RingMonitorCR
+	default:
+		fatal(fmt.Errorf("unknown ring policy %q", *policy))
+	}
+
+	if *runFile != "" {
+		src, err := os.ReadFile(*runFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := asm.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		bos, m, err := core.RunBare(cfg, prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exit code: %d\n", bos.ExitCode)
+		if bos.Out.Len() > 0 {
+			fmt.Printf("output: %s\n", bos.Out.String())
+		}
+		printStats(m)
+		if *trace {
+			printTrace(m, *traceMax)
+		}
+		return
+	}
+
+	if *wname == "" {
+		fatal(fmt.Errorf("need -w <workload> or -run <file.svm>; try -list"))
+	}
+	w, err := workloads.ByName(*wname)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		fatal(err)
+	}
+	mode := shredlib.ModeShred
+	if *modeName == "thread" {
+		mode = shredlib.ModeThread
+	}
+
+	res, err := workloads.Run(w, mode, cfg, size)
+	if err != nil {
+		fatal(err)
+	}
+	want := w.Ref(size)
+	status := "OK"
+	if res.Checksum != want {
+		status = fmt.Sprintf("MISMATCH (reference %g)", want)
+	}
+	fmt.Printf("workload   %s (%s, %s)\n", w.Name, mode, size)
+	fmt.Printf("topology   %s  signal=%d  policy=%s\n", top, cfg.SignalCost, cfg.RingPolicy)
+	fmt.Printf("cycles     %d\n", res.Cycles)
+	fmt.Printf("checksum   %g  [%s]\n", res.Checksum, status)
+	fmt.Printf("kernel     ticks=%d switches=%d syscalls=%d pagefaults=%d ipis=%d\n",
+		res.Kernel.Stats.Ticks, res.Kernel.Stats.Switches, res.Kernel.Stats.Syscalls,
+		res.Kernel.Stats.PageFaults, res.Kernel.Stats.IPIs)
+	printStats(res.Machine)
+	if *trace {
+		printTrace(res.Machine, *traceMax)
+	}
+}
+
+func printStats(m *core.Machine) {
+	fmt.Println("\nper-sequencer counters:")
+	fmt.Printf("  %-10s %-8s %12s %9s %9s %7s %9s %9s %9s %11s %11s\n",
+		"seq", "state", "instrs", "syscalls", "pf", "timer", "proxySys", "proxyPF", "yields", "ringStall", "idle")
+	for _, s := range m.Seqs {
+		fmt.Printf("  %-10s %-8s %12d %9d %9d %7d %9d %9d %9d %11d %11d\n",
+			s.Name(), s.State, s.C.Instrs, s.C.Syscalls, s.C.PageFaults, s.C.Timers,
+			s.C.ProxySyscalls, s.C.ProxyPageFaults, s.C.YieldsTaken, s.C.RingStall, s.C.IdleCycles)
+	}
+}
+
+func printTrace(m *core.Machine, max int) {
+	fmt.Println("\nfirmware event trace:")
+	ev := m.Trace.Events
+	if len(ev) > max {
+		fmt.Printf("  (showing first %d of %d events)\n", max, len(ev))
+		ev = ev[:max]
+	}
+	for _, e := range ev {
+		fmt.Printf("  %12d %-10s %-14s a=0x%x b=0x%x\n", e.TS, m.Seqs[e.Seq].Name(), e.Kind, e.A, e.B)
+	}
+}
+
+func parseTopology(s string) (core.Topology, error) {
+	var top core.Topology
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad topology %q", s)
+		}
+		top = append(top, n)
+	}
+	return top, nil
+}
+
+func parseSize(s string) (workloads.Size, error) {
+	switch s {
+	case "test":
+		return workloads.SizeTest, nil
+	case "small":
+		return workloads.SizeSmall, nil
+	case "ref":
+		return workloads.SizeRef, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mispsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Raytracer: run the paper's RayTracer application (the RMS suite's
+// large workload) on the three standard configurations — a single
+// sequencer, a MISP uniprocessor (1 OMS + 7 AMS), and an 8-way SMP —
+// and report the Figure 4 comparison for this one application,
+// including the serializing-event profile of the MISP run (Table 1's
+// RayTracer row).
+//
+// Run: go run ./examples/raytracer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"misp"
+)
+
+func main() {
+	w, err := misp.Workload("raytracer")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type cfg struct {
+		label string
+		mode  misp.RuntimeMode
+		top   misp.Topology
+	}
+	configs := []cfg{
+		{"1P        (1 sequencer)", misp.ModeShred, misp.Topology{0}},
+		{"MISP 1x8  (1 OMS + 7 AMS)", misp.ModeShred, misp.Topology{7}},
+		{"SMP 8     (8 OS-visible cores)", misp.ModeThread, misp.Topology{0, 0, 0, 0, 0, 0, 0, 0}},
+	}
+
+	var base uint64
+	var mispRun *misp.RunResult
+	ref := w.Ref(misp.SizeSmall)
+	for i, c := range configs {
+		res, err := misp.RunWorkload(w, c.mode, c.top, misp.SizeSmall)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Checksum != ref {
+			log.Fatalf("%s: checksum %g != reference %g", c.label, res.Checksum, ref)
+		}
+		if i == 0 {
+			base = res.Cycles
+		}
+		if i == 1 {
+			mispRun = res
+		}
+		fmt.Printf("%-32s %12d cycles   speedup %.2fx   checksum ok\n",
+			c.label, res.Cycles, float64(base)/float64(res.Cycles))
+	}
+
+	// The firmware event profile of the MISP run (§4.1's developer
+	// feedback: where proxy execution time goes).
+	fmt.Println("\nMISP 1x8 serializing events (Table 1 row):")
+	oms := mispRun.Machine.Procs[0].OMS()
+	fmt.Printf("  OMS: syscalls=%d pagefaults=%d timer=%d interrupts=%d\n",
+		oms.C.Syscalls, oms.C.PageFaults, oms.C.Timers, oms.C.Interrupts)
+	var psys, ppf, stall uint64
+	for _, a := range mispRun.Machine.Procs[0].AMSs() {
+		psys += a.C.ProxySyscalls
+		ppf += a.C.ProxyPageFaults
+		stall += a.C.RingStall + a.C.ProxyStall
+	}
+	fmt.Printf("  AMS: proxy syscalls=%d proxy pagefaults=%d total stall=%d cycles\n",
+		psys, ppf, stall)
+}

@@ -1,0 +1,3 @@
+module misp
+
+go 1.24

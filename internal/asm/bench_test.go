@@ -1,0 +1,56 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func BenchmarkAssembleText(b *testing.B) {
+	src := strings.Repeat(`
+    li  r1, 123456789
+    add r2, r1, r3
+    fld f1, [r2+16]
+    fadd f2, f1, f1
+    beq r1, r2, main
+`, 50)
+	src = "main:\n" + src + "  syscall\n.data\nx: .u64 1, 2, 3\n"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuilderLink(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd := NewBuilder()
+		bd.Entry("main")
+		bd.Label("main")
+		for j := 0; j < 200; j++ {
+			bd.Li(1, int64(j))
+			bd.Add(2, 2, 1)
+			bd.Beq(2, 3, "main")
+		}
+		bd.Syscall()
+		if _, err := bd.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDisasmListing(b *testing.B) {
+	bd := NewBuilder()
+	bd.Label("main")
+	for j := 0; j < 500; j++ {
+		bd.Add(1, 2, 3)
+	}
+	p := bd.MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := p.Disasm(); len(s) == 0 {
+			b.Fatal("empty listing")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package asm provides the SVM-32 assembler: a programmatic Builder
+// used by the runtime and workload generators, a text assembler for
+// .svm source files, and the linked Program object consumed by the
+// kernel's loader.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"misp/internal/isa"
+)
+
+// Default process memory layout (see DESIGN.md §5).
+const (
+	DefaultTextBase  = 0x0001_0000
+	DefaultDataBase  = 0x0100_0000
+	HeapBase         = 0x0800_0000
+	HeapLimit        = 0x3000_0000
+	RuntimeArenaBase = 0x4000_0000
+	RuntimeArenaSize = 0x0100_0000 // 16 MiB
+	StackPoolBase    = 0x7000_0000
+	StackPoolLimit   = 0x7800_0000
+	StackSize        = 64 * 1024 // per shred/thread stack
+)
+
+// Program is a linked SVM-32 executable image.
+type Program struct {
+	TextBase uint64
+	DataBase uint64
+	Text     []byte // encoded instructions
+	Data     []byte // initialized data image
+	BSS      uint64 // zero-filled bytes following Data
+	Entry    uint64 // initial PC
+	Symbols  map[string]uint64
+}
+
+// TextSize returns the text segment size in bytes.
+func (p *Program) TextSize() uint64 { return uint64(len(p.Text)) }
+
+// DataSize returns the data segment size including BSS.
+func (p *Program) DataSize() uint64 { return uint64(len(p.Data)) + p.BSS }
+
+// Symbol returns the address of a symbol, or an error naming it.
+func (p *Program) Symbol(name string) (uint64, error) {
+	if a, ok := p.Symbols[name]; ok {
+		return a, nil
+	}
+	return 0, fmt.Errorf("asm: undefined symbol %q", name)
+}
+
+// MustSymbol is Symbol that panics; for use after a successful link.
+func (p *Program) MustSymbol(name string) uint64 {
+	a, err := p.Symbol(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Instr decodes the instruction at text address va.
+func (p *Program) Instr(va uint64) (isa.Instr, error) {
+	off := va - p.TextBase
+	if va < p.TextBase || off+isa.WordSize > uint64(len(p.Text)) {
+		return isa.Instr{}, fmt.Errorf("asm: 0x%x outside text", va)
+	}
+	return isa.Decode(binary.LittleEndian.Uint64(p.Text[off:])), nil
+}
+
+// NumInstrs returns the number of instructions in the text segment.
+func (p *Program) NumInstrs() int { return len(p.Text) / isa.WordSize }
+
+// Disasm renders a full listing with symbol annotations.
+func (p *Program) Disasm() string {
+	// Invert symbols for annotation.
+	type sym struct {
+		addr uint64
+		name string
+	}
+	var syms []sym
+	for n, a := range p.Symbols {
+		syms = append(syms, sym{a, n})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].addr != syms[j].addr {
+			return syms[i].addr < syms[j].addr
+		}
+		return syms[i].name < syms[j].name
+	})
+	byAddr := map[uint64][]string{}
+	for _, s := range syms {
+		byAddr[s.addr] = append(byAddr[s.addr], s.name)
+	}
+	var b strings.Builder
+	for off := uint64(0); off+isa.WordSize <= uint64(len(p.Text)); off += isa.WordSize {
+		va := p.TextBase + off
+		for _, n := range byAddr[va] {
+			fmt.Fprintf(&b, "%s:\n", n)
+		}
+		in := isa.Decode(binary.LittleEndian.Uint64(p.Text[off:]))
+		fmt.Fprintf(&b, "  0x%08x  %s\n", va, isa.Disasm(in, va))
+	}
+	return b.String()
+}

@@ -1,0 +1,634 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"misp/internal/isa"
+)
+
+// Assemble parses SVM-32 assembler source text and returns the linked
+// Program.
+//
+// Syntax summary:
+//
+//	; or # start a comment
+//	label:                       (text or data label, may share a line)
+//	.entry main                  (entry point; defaults to "main" if defined)
+//	.text / .data                (section switch; .text is the default)
+//	.u8/.u16/.u32/.u64 v, ...    (data words)
+//	.f64 v, ...                  (float data)
+//	.asciiz "str"                (NUL-terminated string)
+//	.space n                     (n zero bytes in the data image)
+//	.align n                     (data alignment)
+//	add r1, r2, r3               (instructions; see isa package mnemonics)
+//	ldd r1, [sp+8]               (memory operands)
+//	beq r1, r2, label            (branch targets are labels)
+//	li r1, 0x123456789           (pseudo: expands to ldi/ldih)
+//	la r1, sym                   (pseudo: load symbol address)
+//	mov/call/ret/j/subi          (pseudos)
+//	movtcr cr3, r1               (control registers)
+func Assemble(src string) (*Program, error) {
+	b := NewBuilder()
+	inData := false
+	sawMain := false
+	entrySet := false
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("asm: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+
+		// Peel off leading labels.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 || strings.ContainsAny(line[:i], " \t\"[,") {
+				break
+			}
+			name := line[:i]
+			if !validIdent(name) {
+				return nil, fail("bad label %q", name)
+			}
+			if inData {
+				b.DataLabel(name)
+			} else {
+				b.Label(name)
+			}
+			if name == "main" {
+				sawMain = true
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := splitOnce(line)
+		mnem, rest := fields[0], fields[1]
+
+		if strings.HasPrefix(mnem, ".") {
+			if err := directive(b, mnem, rest, &inData, &entrySet); err != nil {
+				return nil, fail("%v", err)
+			}
+			continue
+		}
+		if inData {
+			return nil, fail("instruction %q in .data section", mnem)
+		}
+		if err := instruction(b, mnem, rest); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	if !entrySet && sawMain {
+		b.Entry("main")
+	}
+	return b.Build()
+}
+
+// MustAssemble is Assemble that panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case ';', '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func splitOnce(s string) [2]string {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return [2]string{s, ""}
+	}
+	return [2]string{s[:i], strings.TrimSpace(s[i+1:])}
+}
+
+func directive(b *Builder, d, rest string, inData, entrySet *bool) error {
+	switch d {
+	case ".text":
+		*inData = false
+	case ".data":
+		*inData = true
+	case ".entry":
+		if !validIdent(rest) {
+			return fmt.Errorf(".entry: bad symbol %q", rest)
+		}
+		b.Entry(rest)
+		*entrySet = true
+	case ".align":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return fmt.Errorf(".align: bad alignment %q", rest)
+		}
+		b.AlignData(n)
+	case ".u8", ".u16", ".u32", ".u64":
+		vals, err := parseIntList(rest)
+		if err != nil {
+			return err
+		}
+		switch d {
+		case ".u8":
+			for _, v := range vals {
+				b.DataBytes("", []byte{byte(v)})
+			}
+		case ".u16":
+			b.AlignData(2)
+			for _, v := range vals {
+				b.DataBytes("", []byte{byte(v), byte(v >> 8)})
+			}
+		case ".u32":
+			b.AlignData(4)
+			for _, v := range vals {
+				b.DataBytes("", []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+			}
+		case ".u64":
+			b.AlignData(8)
+			u := make([]uint64, len(vals))
+			for i, v := range vals {
+				u[i] = uint64(v)
+			}
+			b.DataU64("", u...)
+		}
+	case ".f64":
+		var vals []float64
+		for _, f := range strings.Split(rest, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return fmt.Errorf(".f64: %v", err)
+			}
+			vals = append(vals, v)
+		}
+		b.AlignData(8)
+		b.DataF64("", vals...)
+	case ".asciiz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return fmt.Errorf(".asciiz: %v", err)
+		}
+		b.DataBytes("", append([]byte(s), 0))
+	case ".space":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil || n == 0 {
+			return fmt.Errorf(".space: bad size %q", rest)
+		}
+		// .space only works after a label on the same logical position;
+		// bind via a synthetic BSS name is impossible here, so .space in
+		// the middle of data emits literal zeros instead.
+		b.DataBytes("", make([]byte, n))
+	default:
+		return fmt.Errorf("unknown directive %q", d)
+	}
+	return nil
+}
+
+func parseIntList(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 0, 64)
+		if err != nil {
+			// Allow unsigned 64-bit literals too.
+			u, uerr := strconv.ParseUint(strings.TrimSpace(f), 0, 64)
+			if uerr != nil {
+				return nil, err
+			}
+			v = int64(u)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseReg(s string) (uint8, error) {
+	switch s {
+	case "sp":
+		return isa.SP, nil
+	case "lr":
+		return isa.LR, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseFReg(s string) (uint8, error) {
+	if len(s) >= 2 && s[0] == 'f' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad float register %q", s)
+}
+
+func parseImm32(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if int64(int32(v)) != v {
+		return 0, fmt.Errorf("immediate %q exceeds 32 bits", s)
+	}
+	return int32(v), nil
+}
+
+// parseMem parses "[reg]", "[reg+off]" or "[reg-off]".
+func parseMem(s string) (uint8, int32, error) {
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(strings.TrimSpace(inner[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := parseImm32(strings.TrimSpace(inner[sep:]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}
+
+func parseCR(s string) (int32, error) {
+	if strings.HasPrefix(s, "cr") {
+		n, err := strconv.Atoi(s[2:])
+		if err == nil && n >= 0 && n < isa.NumCRs {
+			return int32(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad control register %q", s)
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func instruction(b *Builder, mnem, rest string) error {
+	ops := splitOperands(rest)
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(ops[1], 0, 64)
+		if err != nil {
+			u, uerr := strconv.ParseUint(ops[1], 0, 64)
+			if uerr != nil {
+				return fmt.Errorf("li: bad constant %q", ops[1])
+			}
+			v = int64(u)
+		}
+		b.Li(rd, v)
+		return nil
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		if !validIdent(ops[1]) {
+			return fmt.Errorf("la: bad symbol %q", ops[1])
+		}
+		b.La(rd, ops[1])
+		return nil
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("mov: bad operands")
+		}
+		b.Mov(rd, rs)
+		return nil
+	case "subi":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		imm, err3 := parseImm32(ops[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("subi: bad operands")
+		}
+		b.Addi(rd, rs, -imm)
+		return nil
+	case "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		if !validIdent(ops[0]) {
+			return fmt.Errorf("call: bad target %q", ops[0])
+		}
+		b.Call(ops[0])
+		return nil
+	case "ret":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Ret()
+		return nil
+	case "j":
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jmp(ops[0])
+		return nil
+	case "push":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Push(r)
+		return nil
+	case "pop":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Pop(r)
+		return nil
+	}
+
+	op, ok := isa.ByName[mnem]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	info := isa.Lookup(op)
+	in := isa.Instr{Op: op}
+
+	switch info.Fmt {
+	case isa.FmtNone:
+		if err := need(0); err != nil {
+			return err
+		}
+	case isa.FmtRd:
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		in.Rd = r
+	case isa.FmtR1:
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		in.Rs1 = r
+	case isa.FmtR2:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1 = rd, rs
+	case isa.FmtR3, isa.FmtSig:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		r1, e2 := parseReg(ops[1])
+		r2, e3 := parseReg(ops[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1, in.Rs2 = rd, r1, r2
+	case isa.FmtR2I:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		r1, e2 := parseReg(ops[1])
+		imm, e3 := parseImm32(ops[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1, in.Imm = rd, r1, imm
+	case isa.FmtRI:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		imm, e2 := parseImm32(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Imm = rd, imm
+	case isa.FmtMem:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		rs, off, e2 := parseMem(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1, in.Imm = rd, rs, off
+	case isa.FmtFMem:
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, e1 := parseFReg(ops[0])
+		rs, off, e2 := parseMem(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1, in.Imm = fd, rs, off
+	case isa.FmtF3:
+		if err := need(3); err != nil {
+			return err
+		}
+		fd, e1 := parseFReg(ops[0])
+		f1, e2 := parseFReg(ops[1])
+		f2, e3 := parseFReg(ops[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1, in.Rs2 = fd, f1, f2
+	case isa.FmtF2:
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, e1 := parseFReg(ops[0])
+		f1, e2 := parseFReg(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1 = fd, f1
+	case isa.FmtFCmp:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		f1, e2 := parseFReg(ops[1])
+		f2, e3 := parseFReg(ops[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1, in.Rs2 = rd, f1, f2
+	case isa.FmtFI:
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, e1 := parseFReg(ops[0])
+		rs, e2 := parseReg(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1 = fd, rs
+	case isa.FmtIF:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		f1, e2 := parseFReg(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Rs1 = rd, f1
+	case isa.FmtJmp:
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jmp(ops[0])
+		return nil
+	case isa.FmtJal:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.emitFix(isa.Instr{Op: isa.OpJal, Rd: rd}, fixRel, ops[1])
+		return nil
+	case isa.FmtBranch:
+		if err := need(3); err != nil {
+			return err
+		}
+		r1, e1 := parseReg(ops[0])
+		r2, e2 := parseReg(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		if !validIdent(ops[2]) {
+			return fmt.Errorf("%s: bad target %q", mnem, ops[2])
+		}
+		b.emitFix(isa.Instr{Op: op, Rs1: r1, Rs2: r2}, fixRel, ops[2])
+		return nil
+	case isa.FmtCRW:
+		if err := need(2); err != nil {
+			return err
+		}
+		cr, e1 := parseCR(ops[0])
+		rs, e2 := parseReg(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rs1, in.Imm = rs, cr
+	case isa.FmtCRR:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		cr, e2 := parseCR(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rd, in.Imm = rd, cr
+	case isa.FmtYield:
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, e1 := parseReg(ops[0])
+		imm, e2 := parseImm32(ops[1])
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("%s: bad operands", mnem)
+		}
+		in.Rs1, in.Imm = rs, imm
+	default:
+		return fmt.Errorf("%s: unhandled format", mnem)
+	}
+	b.Emit(in)
+	return nil
+}

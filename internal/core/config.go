@@ -1,0 +1,165 @@
+// Package core implements the MISP machine: sequencers grouped into
+// MISP processors, the SVM-32 interpreter, and the firmware-level MISP
+// mechanisms that are the paper's contribution — the SIGNAL
+// instruction, the YIELD-CONDITIONAL trigger/response mechanism, proxy
+// execution, and ring-transition serialization of application-managed
+// sequencers (Hankins et al., ISCA 2006, §2).
+//
+// The machine is a deterministic discrete-event simulator: the run loop
+// always advances the runnable sequencer with the smallest local clock,
+// so exactly one instruction commits at a time machine-wide and results
+// are exactly reproducible.
+package core
+
+import (
+	"fmt"
+
+	"misp/internal/mem"
+)
+
+// RingPolicy selects how a MISP processor keeps the shared virtual
+// address space consistent across its sequencers while the OMS executes
+// at ring 0 (§2.3).
+type RingPolicy uint8
+
+const (
+	// RingSuspendAll suspends every running AMS when the OMS enters
+	// ring 0 and resumes them when it returns to ring 3 — the simple
+	// mechanism the paper's prototype implements.
+	RingSuspendAll RingPolicy = iota
+	// RingMonitorCR lets AMSs keep running speculatively while the OMS
+	// is at ring 0, suspending them only if the kernel actually writes a
+	// paging control register — the "more aggressive microarchitecture"
+	// sketched in §2.3. Implemented for the A1 ablation.
+	RingMonitorCR
+)
+
+func (p RingPolicy) String() string {
+	if p == RingMonitorCR {
+		return "monitor-cr"
+	}
+	return "suspend-all"
+}
+
+// Topology describes a machine as the number of AMSs attached to each
+// MISP processor. Element i is processor i's AMS count; a value of 0
+// gives a plain OS-visible core. Examples from the paper's Figure 6:
+//
+//	Topology{7}           1×8 MISP uniprocessor (1 OMS + 7 AMS)
+//	Topology{3, 3}        2×4
+//	Topology{1, 1, 1, 1}  4×2
+//	Topology{3, 0, 0, 0, 0} 1×4 + 4
+//	Topology{0 x 8}       8-way SMP
+type Topology []int
+
+// Seqs returns the total number of sequencers.
+func (t Topology) Seqs() int {
+	n := 0
+	for _, a := range t {
+		n += 1 + a
+	}
+	return n
+}
+
+// String renders the topology in the paper's k×n notation.
+func (t Topology) String() string {
+	// Group identical processors.
+	s := ""
+	i := 0
+	for i < len(t) {
+		j := i
+		for j < len(t) && t[j] == t[i] {
+			j++
+		}
+		if s != "" {
+			s += " + "
+		}
+		if t[i] == 0 {
+			s += fmt.Sprintf("%d", j-i)
+		} else {
+			s += fmt.Sprintf("%dx%d", j-i, t[i]+1)
+		}
+		i = j
+	}
+	return s
+}
+
+// Config holds every machine parameter. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	Topology Topology
+	PhysMem  uint64 // bytes of simulated physical memory
+
+	// MISP cost model (cycles).
+	SignalCost uint64 // inter-sequencer signal latency (paper §5.2: 5000 conservative)
+	TrapCost   uint64 // one ring crossing (entry or exit)
+	YieldCost  uint64 // YIELD-CONDITIONAL flyweight transfer into a handler
+	CtxMemCost uint64 // SAVECTX/LDCTX beyond the opcode base cost
+	WalkCost   uint64 // hardware page walk on TLB miss
+
+	// OS model (cycles).
+	TimerInterval   uint64 // cycles between timer interrupts on each OMS
+	QuantumTicks    int    // timer ticks per scheduling quantum
+	TimerTickCost   uint64 // kernel timer-interrupt service
+	PageFaultCost   uint64 // kernel page-fault service
+	SyscallBaseCost uint64 // kernel syscall dispatch
+	CtxSwitchCost   uint64 // thread context switch
+	AMSStateCost    uint64 // additional save/restore per AMS on context switch (§2.2)
+
+	RingPolicy RingPolicy
+
+	// TraceEvents enables the fine-grained time-stamped event log
+	// (the prototype firmware's logging facility, §4.1).
+	TraceEvents bool
+	// MaxTraceEvents caps the log size.
+	MaxTraceEvents int
+	// MaxCycles aborts a run that exceeds this global time (a deadlock
+	// guard for tests); 0 means no limit.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the baseline configuration used throughout the
+// evaluation: the paper's 5000-cycle signal estimate and a scaled OS
+// cost model (see DESIGN.md §6).
+func DefaultConfig(top Topology) Config {
+	return Config{
+		Topology:        top,
+		PhysMem:         256 << 20,
+		SignalCost:      5000,
+		TrapCost:        150,
+		YieldCost:       30,
+		CtxMemCost:      40,
+		WalkCost:        mem.WalkCost,
+		TimerInterval:   1_000_000,
+		QuantumTicks:    5,
+		TimerTickCost:   600,
+		PageFaultCost:   1200,
+		SyscallBaseCost: 400,
+		CtxSwitchCost:   2500,
+		AMSStateCost:    400,
+		RingPolicy:      RingSuspendAll,
+		MaxTraceEvents:  1 << 16,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if len(c.Topology) == 0 {
+		return fmt.Errorf("core: empty topology")
+	}
+	for i, a := range c.Topology {
+		if a < 0 || a > 62 {
+			return fmt.Errorf("core: processor %d has invalid AMS count %d", i, a)
+		}
+	}
+	if c.PhysMem == 0 || c.PhysMem%mem.PageSize != 0 {
+		return fmt.Errorf("core: PhysMem %d not a positive page multiple", c.PhysMem)
+	}
+	if c.TimerInterval == 0 {
+		return fmt.Errorf("core: TimerInterval must be positive")
+	}
+	if c.QuantumTicks <= 0 {
+		return fmt.Errorf("core: QuantumTicks must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+
+	"misp/internal/isa"
+)
+
+// This file implements the MISP firmware: the machinery behind the
+// paper's architectural mechanisms — ring-transition serialization
+// (§2.3), inter-sequencer signaling (§2.4), and proxy execution (§2.5).
+
+// fault dispatch: an OMS trap enters the kernel through the ring
+// transition protocol; an AMS trap becomes a proxy request.
+func (m *Machine) dispatchFault(s *Sequencer, f *fault) {
+	if s.IsOMS {
+		m.kernelTrap(s, f.trap, f.info)
+	} else {
+		m.proxyRequest(s, f)
+	}
+}
+
+// kernelTrap performs a complete OMS ring 3→0→3 episode: count the
+// serializing event, suspend the AMSs per policy, run the kernel,
+// resume the AMSs (Equation 1: serialize = 2·signal + priv).
+func (m *Machine) kernelTrap(s *Sequencer, trap isa.Trap, info uint64) {
+	switch {
+	case s.InProxy:
+		// Ring transitions on behalf of an AMS (proxy re-execution) are
+		// accounted to the AMS's proxy counters, not the OMS's own
+		// serializing-event columns (Table 1 separates the two).
+		s.C.ProxiedServices++
+	case trap == isa.TrapSyscall:
+		s.C.Syscalls++
+	case trap == isa.TrapPageFault:
+		s.C.PageFaults++
+	case trap == isa.TrapTimer:
+		s.C.Timers++
+	case trap == isa.TrapInterrupt:
+		s.C.Interrupts++
+	default:
+		// Fatal conditions (GP, divide by zero, bad instruction, break)
+		// also serialize; bucket them with interrupts.
+		s.C.Interrupts++
+	}
+	proc := m.Proc(s)
+	m.Trace.add(s.Clock, s.ID, EvRingEnter, uint64(trap), info)
+	t0 := s.Clock
+	s.Clock += m.Cfg.TrapCost
+	proc.inRing0 = true
+	proc.crWritten = false
+	if m.Cfg.RingPolicy == RingSuspendAll {
+		m.suspendAMSs(proc, t0)
+	}
+	s.Ring = isa.Ring0
+	m.os.HandleTrap(s, trap, info)
+	s.Ring = isa.Ring3
+	s.Clock += m.Cfg.TrapCost
+	m.resumeAMSs(proc)
+	proc.inRing0 = false
+	m.Trace.add(s.Clock, s.ID, EvRingExit, uint64(trap), 0)
+}
+
+// suspendAMSs parks every running AMS of proc. Each AMS observes the
+// suspend signal at t0 + SignalCost; work it would have done before
+// that point is deferred until resume (a conservative, deterministic
+// rendering of the paper's suspend protocol).
+func (m *Machine) suspendAMSs(proc *Processor, t0 uint64) {
+	due := t0 + m.Cfg.SignalCost
+	for _, a := range proc.AMSs() {
+		if a.State != StateRunning {
+			continue
+		}
+		if due > a.Clock {
+			a.Clock = due
+		}
+		a.State = StateSuspendRing
+		a.stallStart = a.Clock
+		m.Trace.add(a.Clock, a.ID, EvSuspendAMS, 0, 0)
+	}
+}
+
+// resumeAMSs resumes ring-suspended AMSs after the OMS returns to
+// ring 3, synchronizing ring-0 control state (§2.3). TLBs are flushed
+// only if a paging control register was written — matching IA-32's
+// CR3-write purge semantics.
+func (m *Machine) resumeAMSs(proc *Processor) {
+	oms := proc.OMS()
+	due := oms.Clock + m.Cfg.SignalCost
+	for _, a := range proc.AMSs() {
+		if a.State != StateSuspendRing {
+			continue
+		}
+		if due > a.Clock {
+			a.Clock = due
+		}
+		a.C.RingStall += a.Clock - a.stallStart
+		a.CRs = oms.CRs
+		if proc.crWritten {
+			a.flushTranslation()
+		}
+		a.State = StateRunning
+		m.Trace.add(a.Clock, a.ID, EvResumeAMS, 0, 0)
+	}
+}
+
+// NotifyCRWrite must be called by the kernel whenever it changes a
+// paging control register (CR3) for the thread running on oms. Under
+// the monitor-CR policy this is the moment the speculating AMSs must
+// stop (§2.3's aggressive alternative).
+func (m *Machine) NotifyCRWrite(oms *Sequencer) {
+	proc := m.Proc(oms)
+	proc.crWritten = true
+	oms.flushTranslation()
+	if m.Cfg.RingPolicy == RingMonitorCR && proc.inRing0 {
+		m.suspendAMSs(proc, oms.Clock)
+	}
+}
+
+// proxyRequest implements the AMS side of proxy execution (§2.5): the
+// firmware saves the faulting context to the sequencer's save area and
+// relays a user-level fault signal to the OMS (Equation 2's first
+// signal).
+func (m *Machine) proxyRequest(ams *Sequencer, f *fault) {
+	switch f.trap {
+	case isa.TrapSyscall:
+		ams.C.ProxySyscalls++
+	default:
+		// Page faults and fatal conditions. (Fatal conditions still ride
+		// the proxy path: the OMS re-executes and the kernel kills the
+		// process — the AMS is architecturally unable to reach ring 0.)
+		ams.C.ProxyPageFaults++
+	}
+	frameVA := FrameVA(ams.ID)
+	ams.Clock += uint64(isa.Lookup(isa.OpSavectx).Cost) + m.Cfg.CtxMemCost
+	if ff := m.writeCtxFrame(ams, frameVA, ams.PC, f); ff != nil {
+		m.fatalf("core: %s: proxy save area 0x%x unmapped (runtime must prefault it): trap %v",
+			ams.Name(), frameVA, ff.trap)
+		return
+	}
+	ams.State = StateWaitProxy
+	ams.stallStart = ams.Clock
+	ams.proxyFrame = frameVA
+	ams.C.SignalsSent++
+	proc := m.Proc(ams)
+	proc.PendingProxy = append(proc.PendingProxy, ProxyReq{
+		TS:      ams.Clock + m.Cfg.SignalCost,
+		AMS:     ams,
+		FrameVA: frameVA,
+	})
+	m.Trace.add(ams.Clock, ams.ID, EvProxyRequest, uint64(f.trap), f.info)
+}
+
+// proxyExec implements the PROXYEXEC instruction on the OMS (§2.5):
+// impersonate the saved AMS context, re-execute the faulting
+// instruction — taking the resulting ring-0 trap on the OMS, which is
+// exactly "the very work that cannot be done on the AMS" — write the
+// advanced context back, restore the handler's context, and signal the
+// AMS to resume.
+func (m *Machine) proxyExec(oms *Sequencer, frameVA uint64) *fault {
+	if !oms.IsOMS {
+		return &fault{trap: isa.TrapGP, info: frameVA}
+	}
+	if frameVA < SaveAreaBase || (frameVA-SaveAreaBase)%isa.CtxSize != 0 {
+		return &fault{trap: isa.TrapGP, info: frameVA}
+	}
+	gid := int((frameVA - SaveAreaBase) / isa.CtxSize)
+	if gid >= len(m.Seqs) {
+		return &fault{trap: isa.TrapGP, info: frameVA}
+	}
+	ams := m.Seqs[gid]
+	if ams.ProcID != oms.ProcID || ams.State != StateWaitProxy || ams.proxyFrame != frameVA {
+		return &fault{trap: isa.TrapGP, info: frameVA}
+	}
+
+	// Impersonate: stash the handler's context, assume the AMS's.
+	hsave := oms.SnapshotCtx()
+	oms.Clock += 2 * m.Cfg.CtxMemCost
+	if ff := m.readCtxFrame(oms, frameVA); ff != nil {
+		oms.RestoreCtx(hsave)
+		return ff
+	}
+	// Re-execute the faulting instruction to completion. A page fault is
+	// serviced and the instruction retried; a system call completes in
+	// one service (the kernel advances PC past it).
+	oms.InProxy = true
+	for tries := 0; ; tries++ {
+		ff := m.execOne(oms)
+		if ff == nil {
+			break
+		}
+		m.kernelTrap(oms, ff.trap, ff.info)
+		if m.stopErr != nil || oms.State != StateRunning {
+			break
+		}
+		if ff.trap == isa.TrapSyscall {
+			break
+		}
+		if tries >= 4 {
+			m.fatalf("core: proxy execution for %s did not converge at pc 0x%x", ams.Name(), oms.PC)
+			break
+		}
+	}
+	oms.InProxy = false
+
+	// Write the advanced context back and restore the handler.
+	if ff := m.writeCtxFrame(oms, frameVA, oms.PC, nil); ff != nil {
+		m.fatalf("core: proxy writeback to 0x%x failed", frameVA)
+	}
+	oms.RestoreCtx(hsave)
+
+	// Resume the AMS: it reloads the frame at +signal (Equation 2's
+	// final signal) and continues the shred where the OMS left it.
+	if m.stopErr != nil || ams.State != StateWaitProxy {
+		// The process died during re-execution, or the kernel detached
+		// this AMS; nothing to resume.
+		return nil
+	}
+	due := oms.Clock + m.Cfg.SignalCost
+	if due > ams.Clock {
+		ams.Clock = due
+	}
+	ams.Clock += uint64(isa.Lookup(isa.OpLdctx).Cost) + m.Cfg.CtxMemCost
+	// Adopt the OMS's ring-0 state BEFORE the frame load: the save area
+	// must be read through the current thread's address space.
+	ams.CRs = oms.CRs
+	ams.flushTranslation()
+	if ff := m.readCtxFrame(ams, frameVA); ff != nil {
+		m.fatalf("core: %s: proxy resume load from 0x%x failed", ams.Name(), frameVA)
+		return nil
+	}
+	ams.C.ProxyStall += ams.Clock - ams.stallStart
+	ams.State = StateRunning
+	ams.proxyFrame = 0
+	m.Trace.add(oms.Clock, oms.ID, EvProxyDone, uint64(ams.ID), frameVA)
+	return nil
+}
+
+// doSignal implements the SIGNAL instruction (§2.4): an egress
+// user-level signal carrying a shred continuation to another sequencer
+// of the same MISP processor. SIDs are processor-local logical IDs.
+func (m *Machine) doSignal(s *Sequencer, in isa.Instr) *fault {
+	sid := s.Regs[in.Rd]
+	proc := m.Proc(s)
+	if sid >= uint64(len(proc.Seqs)) {
+		return &fault{trap: isa.TrapGP, info: sid}
+	}
+	target := proc.Seqs[sid]
+	if target == s {
+		return &fault{trap: isa.TrapGP, info: sid}
+	}
+	ip, sp := s.Regs[in.Rs1], s.Regs[in.Rs2]
+	target.queueSignal(s.Clock+m.Cfg.SignalCost, ip, sp)
+	s.C.SignalsSent++
+	m.Trace.add(s.Clock, s.ID, EvSignalSend, sid, ip)
+	return nil
+}
+
+// ThreadSeqState is the saved architectural state of one sequencer
+// within an OS thread's cumulative context. Providing the aggregate
+// save area for these is "the primary, if not the only, additional OS
+// support required of a legacy OS" (§2.2).
+type ThreadSeqState struct {
+	Ctx         CtxSnap
+	Yield       [isa.NumScenarios]uint64
+	InHandler   bool
+	YieldSave   CtxSnap
+	Pending     []PendingSignal
+	State       SeqState // StateRunning, StateIdle or StateWaitProxy
+	ProxyFrame  uint64
+	HasProxyReq bool // a proxy request was queued but not yet delivered
+}
+
+// SaveSeqForSwitch captures a sequencer's state for a thread context
+// switch and resets the sequencer. For an AMS this must be called while
+// the OMS is at ring 0 (the AMS is parked). The kernel charges
+// Cfg.AMSStateCost per AMS itself.
+func (m *Machine) SaveSeqForSwitch(s *Sequencer) ThreadSeqState {
+	st := ThreadSeqState{
+		Ctx:       s.SnapshotCtx(),
+		Yield:     s.Yield,
+		InHandler: s.InHandler,
+		YieldSave: s.YieldSave,
+		Pending:   s.pending,
+	}
+	switch s.State {
+	case StateSuspendRing:
+		st.State = StateRunning
+	case StateWaitProxy:
+		st.State = StateWaitProxy
+		st.ProxyFrame = s.proxyFrame
+		// Withdraw its undelivered proxy request, if any.
+		proc := m.Proc(s)
+		for i, r := range proc.PendingProxy {
+			if r.AMS == s {
+				proc.PendingProxy = append(proc.PendingProxy[:i], proc.PendingProxy[i+1:]...)
+				st.HasProxyReq = true
+				break
+			}
+		}
+	default:
+		st.State = StateIdle
+	}
+	// Reset the sequencer for the next occupant.
+	s.pending = nil
+	s.Yield = [isa.NumScenarios]uint64{}
+	s.InHandler = false
+	s.proxyFrame = 0
+	if !s.IsOMS {
+		s.State = StateIdle
+		s.CurTID = 0
+	}
+	s.flushTranslation()
+	return st
+}
+
+// RestoreSeqForSwitch installs a previously saved sequencer state. For
+// an AMS that was running, the sequencer is placed in StateSuspendRing
+// so the enclosing ring-transition exit resumes it with the standard
+// resume signal.
+func (m *Machine) RestoreSeqForSwitch(s *Sequencer, st ThreadSeqState, now uint64) {
+	s.RestoreCtx(st.Ctx)
+	s.Yield = st.Yield
+	s.InHandler = st.InHandler
+	s.YieldSave = st.YieldSave
+	s.pending = st.Pending
+	s.proxyFrame = st.ProxyFrame
+	if s.Clock < now {
+		s.C.IdleCycles += now - s.Clock
+		s.Clock = now
+	}
+	if s.IsOMS {
+		return
+	}
+	proc := m.Proc(s)
+	switch st.State {
+	case StateRunning:
+		s.State = StateSuspendRing
+		s.stallStart = s.Clock
+	case StateWaitProxy:
+		s.State = StateWaitProxy
+		s.stallStart = s.Clock
+		if st.HasProxyReq {
+			proc.PendingProxy = append(proc.PendingProxy, ProxyReq{
+				TS:      now + m.Cfg.SignalCost,
+				AMS:     s,
+				FrameVA: st.ProxyFrame,
+			})
+		}
+	default:
+		s.State = StateIdle
+	}
+	s.CRs = proc.OMS().CRs
+	s.flushTranslation()
+}
+
+// RebindAMS moves an idle AMS from its current MISP processor to
+// another — the dynamic sequencer-to-OMS binding the paper motivates in
+// §5.4 ("techniques for dynamically binding AMSs to OMSs, even to the
+// extent of crossing socket boundaries") and defers to future work
+// (§7). Constraints keep the architecture sound:
+//
+//   - only an idle AMS with no pending signals or in-flight proxy state
+//     may move (its save-area frame is keyed by global ID and needs no
+//     relocation);
+//   - only the highest-SID AMS of the donor may move, so the donor's
+//     remaining logical SIDs — which running software already holds —
+//     stay dense and stable;
+//   - the AMS adopts the target OMS's ring-0 state and arrives with a
+//     cold TLB, exactly like a resume after ring synchronization.
+func (m *Machine) RebindAMS(a *Sequencer, toProc int) error {
+	if a.IsOMS {
+		return fmt.Errorf("core: cannot rebind an OMS")
+	}
+	if toProc < 0 || toProc >= len(m.Procs) {
+		return fmt.Errorf("core: rebind target processor %d out of range", toProc)
+	}
+	if toProc == a.ProcID {
+		return fmt.Errorf("core: rebind to own processor")
+	}
+	if a.State != StateIdle || a.CurTID != 0 || len(a.pending) != 0 || a.proxyFrame != 0 {
+		return fmt.Errorf("core: %s is not quiescent (state %v)", a.Name(), a.State)
+	}
+	donor := m.Procs[a.ProcID]
+	if donor.Seqs[len(donor.Seqs)-1] != a {
+		return fmt.Errorf("core: %s is not the donor's highest SID", a.Name())
+	}
+	target := m.Procs[toProc]
+	donor.Seqs = donor.Seqs[:len(donor.Seqs)-1]
+	a.ProcID = toProc
+	a.SID = len(target.Seqs)
+	target.Seqs = append(target.Seqs, a)
+	a.Yield = [isa.NumScenarios]uint64{}
+	a.InHandler = false
+	a.CRs = target.OMS().CRs
+	a.flushTranslation()
+	if a.Clock < target.OMS().Clock {
+		a.C.IdleCycles += target.OMS().Clock - a.Clock
+		a.Clock = target.OMS().Clock
+	}
+	m.Trace.add(a.Clock, a.ID, EvRebind, uint64(donor.ID), uint64(toProc))
+	return nil
+}
+
+// ResetSeq clears a sequencer after its thread exits.
+func (m *Machine) ResetSeq(s *Sequencer) {
+	s.pending = nil
+	s.Yield = [isa.NumScenarios]uint64{}
+	s.InHandler = false
+	s.proxyFrame = 0
+	s.State = StateIdle
+	s.CurTID = 0
+	s.flushTranslation()
+	// Withdraw any queued proxy requests from this sequencer.
+	proc := m.Proc(s)
+	kept := proc.PendingProxy[:0]
+	for _, r := range proc.PendingProxy {
+		if r.AMS != s {
+			kept = append(kept, r)
+		}
+	}
+	proc.PendingProxy = kept
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+
+	"misp/internal/asm"
+	"misp/internal/isa"
+	"misp/internal/mem"
+)
+
+// ProxyReq is an in-flight proxy-execution request from an AMS to its
+// OMS (§2.5): visible to the OMS at TS, with the faulting context saved
+// at FrameVA.
+type ProxyReq struct {
+	TS      uint64
+	AMS     *Sequencer
+	FrameVA uint64
+}
+
+// Processor is one MISP processor: an OS-managed sequencer plus zero or
+// more application-managed sequencers (§2.2). To the OS it appears as a
+// single logical CPU.
+type Processor struct {
+	ID   int
+	Seqs []*Sequencer // Seqs[0] is the OMS; Seqs[1:] are AMSs
+
+	// PendingProxy holds proxy requests awaiting OMS attention. The
+	// kernel stashes and restores these across thread context switches.
+	PendingProxy []ProxyReq
+
+	inRing0   bool
+	crWritten bool // a paging control register was written this episode
+}
+
+// OMS returns the processor's OS-managed sequencer.
+func (p *Processor) OMS() *Sequencer { return p.Seqs[0] }
+
+// AMSs returns the processor's application-managed sequencers.
+func (p *Processor) AMSs() []*Sequencer { return p.Seqs[1:] }
+
+// OS is the kernel's interface to the machine. HandleTrap is invoked
+// with the sequencer already at ring 0 and its AMSs suspended per the
+// ring policy; the kernel charges its service time to s.Clock directly.
+type OS interface {
+	// HandleTrap services a ring-0 entry on an OMS: system calls, page
+	// faults, timer interrupts, reschedule IPIs, and fatal conditions.
+	HandleTrap(s *Sequencer, trap isa.Trap, info uint64)
+	// Done reports that all work has finished and the machine should stop.
+	Done() bool
+}
+
+// SaveAreaBase is the per-sequencer architectural context save area:
+// global sequencer i's frame lives at SaveAreaBase + i*isa.CtxSize.
+// The MISP firmware spills AMS state here during proxy execution; the
+// user-level runtime must keep these pages resident (ShredLib prefaults
+// them during initialization).
+const SaveAreaBase = asm.RuntimeArenaBase
+
+// FrameVA returns the save-area address for a global sequencer ID.
+func FrameVA(globalID int) uint64 {
+	return SaveAreaBase + uint64(globalID)*isa.CtxSize
+}
+
+// Machine is the complete simulated system.
+type Machine struct {
+	Cfg   Config
+	Phys  *mem.Phys
+	Procs []*Processor
+	Seqs  []*Sequencer // flattened, OMS-first per processor
+
+	Trace *Trace
+
+	os      OS
+	stopErr error
+	halted  bool // a ring-0 HALT was executed
+
+	// GlobalStats
+	Steps uint64 // total instructions executed
+}
+
+// New builds a machine from a validated configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	phys, err := mem.NewPhys(cfg.PhysMem)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg, Phys: phys, Trace: newTrace(cfg.TraceEvents, cfg.MaxTraceEvents)}
+	gid := 0
+	for pid, nAMS := range cfg.Topology {
+		proc := &Processor{ID: pid}
+		for sid := 0; sid <= nAMS; sid++ {
+			s := &Sequencer{
+				ID:     gid,
+				ProcID: pid,
+				SID:    sid,
+				IsOMS:  sid == 0,
+				State:  StateIdle,
+				Ring:   isa.Ring3,
+			}
+			proc.Seqs = append(proc.Seqs, s)
+			m.Seqs = append(m.Seqs, s)
+			gid++
+		}
+		m.Procs = append(m.Procs, proc)
+	}
+	return m, nil
+}
+
+// SetOS attaches the kernel. Must be called before Run.
+func (m *Machine) SetOS(os OS) { m.os = os }
+
+// Proc returns the processor owning sequencer s.
+func (m *Machine) Proc(s *Sequencer) *Processor { return m.Procs[s.ProcID] }
+
+// MaxClock returns the largest local clock across sequencers — the
+// machine's wall time.
+func (m *Machine) MaxClock() uint64 {
+	var t uint64
+	for _, s := range m.Seqs {
+		if s.Clock > t {
+			t = s.Clock
+		}
+	}
+	return t
+}
+
+// fatalf stops the run with an error.
+func (m *Machine) fatalf(format string, args ...any) {
+	if m.stopErr == nil {
+		m.stopErr = fmt.Errorf(format, args...)
+	}
+}
+
+// Run drives the machine until the OS reports completion, a fatal
+// condition occurs, or the cycle limit is exceeded.
+func (m *Machine) Run() error {
+	if m.os == nil {
+		return fmt.Errorf("core: Run without an OS attached")
+	}
+	for m.stopErr == nil && !m.halted && !m.os.Done() {
+		s := m.pickNext()
+		if s == nil {
+			return fmt.Errorf("core: deadlock — no runnable sequencer and no pending event (cycle %d)", m.MaxClock())
+		}
+		if m.Cfg.MaxCycles > 0 && s.Clock > m.Cfg.MaxCycles {
+			return fmt.Errorf("core: cycle limit %d exceeded", m.Cfg.MaxCycles)
+		}
+		m.step(s)
+	}
+	return m.stopErr
+}
+
+// nextEventTime returns the next time s can make progress, or ok=false
+// if s is not self-wakeable (parked states are woken by OMS actions).
+func (m *Machine) nextEventTime(s *Sequencer) (uint64, bool) {
+	switch s.State {
+	case StateRunning:
+		return s.Clock, true
+	case StateIdle:
+		t := uint64(0)
+		ok := false
+		if p, i := s.nextPending(); i >= 0 {
+			t, ok = p.TS, true
+		}
+		if s.IsOMS && s.TimerDeadline != 0 && (!ok || s.TimerDeadline < t) {
+			t, ok = s.TimerDeadline, true
+		}
+		if ok && t < s.Clock {
+			t = s.Clock
+		}
+		return t, ok
+	default:
+		return 0, false
+	}
+}
+
+// pickNext selects the sequencer with the earliest next event.
+func (m *Machine) pickNext() *Sequencer {
+	var best *Sequencer
+	var bestT uint64
+	for _, s := range m.Seqs {
+		t, ok := m.nextEventTime(s)
+		if !ok {
+			continue
+		}
+		if best == nil || t < bestT {
+			best, bestT = s, t
+		}
+	}
+	return best
+}
+
+// step advances one sequencer by one event or instruction.
+func (m *Machine) step(s *Sequencer) {
+	if s.State == StateIdle {
+		m.wakeIdle(s)
+		return
+	}
+	// Timer interrupt due? (OMS only.)
+	if s.IsOMS && s.TimerDeadline != 0 && s.Clock >= s.TimerDeadline {
+		trap := isa.TrapTimer
+		if s.RescheduleIPI {
+			trap = isa.TrapInterrupt
+			s.RescheduleIPI = false
+		}
+		m.kernelTrap(s, trap, 0)
+		return
+	}
+	// Proxy request delivery (OMS, user mode, outside any handler).
+	if s.IsOMS && m.deliverProxy(s) {
+		return
+	}
+	// Ingress user signal to a running sequencer with a handler.
+	if m.deliverSignalRunning(s) {
+		return
+	}
+	m.exec(s)
+}
+
+// wakeIdle advances an idle sequencer to its next event and services it.
+func (m *Machine) wakeIdle(s *Sequencer) {
+	t, ok := m.nextEventTime(s)
+	if !ok {
+		m.fatalf("core: wakeIdle on %s with no event", s.Name())
+		return
+	}
+	if t > s.Clock {
+		s.C.IdleCycles += t - s.Clock
+		s.Clock = t
+	}
+	// Prefer signal delivery over timer when both are due: an arriving
+	// shred continuation starts immediately.
+	if p, i := s.nextPending(); i >= 0 && p.TS <= s.Clock {
+		s.dropPending(i)
+		m.startContinuation(s, p.IP, p.SP)
+		return
+	}
+	if s.IsOMS && s.TimerDeadline != 0 && s.Clock >= s.TimerDeadline {
+		trap := isa.TrapTimer
+		if s.RescheduleIPI {
+			trap = isa.TrapInterrupt
+			s.RescheduleIPI = false
+		}
+		m.kernelTrap(s, trap, 0)
+	}
+}
+
+// startContinuation begins executing a shred continuation (IP, SP)
+// delivered by SIGNAL to an idle sequencer (§2.4). The sequencer adopts
+// the OMS's ring-0 control state — all sequencers of a MISP processor
+// share one virtual address space (§2.3) — and is tagged with the
+// thread occupying the OMS for kernel bookkeeping.
+func (m *Machine) startContinuation(s *Sequencer, ip, sp uint64) {
+	oms := m.Proc(s).OMS()
+	if !s.IsOMS {
+		s.CRs = oms.CRs
+		s.flushTranslation()
+		s.CurTID = oms.CurTID
+	}
+	s.PC = ip
+	s.Regs[isa.SP] = sp
+	s.State = StateRunning
+	s.C.SignalsReceived++
+	m.Trace.add(s.Clock, s.ID, EvSignalStart, ip, sp)
+}
+
+// deliverSignalRunning delivers a pending ingress signal to a running
+// sequencer through its ScenarioSignal handler, if one is registered.
+func (m *Machine) deliverSignalRunning(s *Sequencer) bool {
+	if s.InHandler || s.Yield[isa.ScenarioSignal] == 0 {
+		return false
+	}
+	p, i := s.nextPending()
+	if i < 0 || p.TS > s.Clock {
+		return false
+	}
+	s.dropPending(i)
+	m.yieldTo(s, isa.ScenarioSignal, p.IP, p.SP)
+	return true
+}
+
+// deliverProxy transfers a pending proxy request into the OMS's
+// registered proxy handler.
+func (m *Machine) deliverProxy(s *Sequencer) bool {
+	proc := m.Proc(s)
+	if len(proc.PendingProxy) == 0 || s.InHandler || s.Yield[isa.ScenarioProxy] == 0 {
+		return false
+	}
+	best := -1
+	for i, r := range proc.PendingProxy {
+		if r.TS <= s.Clock && (best < 0 || r.TS < proc.PendingProxy[best].TS) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	req := proc.PendingProxy[best]
+	proc.PendingProxy = append(proc.PendingProxy[:best], proc.PendingProxy[best+1:]...)
+	m.Trace.add(s.Clock, s.ID, EvProxyDeliver, uint64(req.AMS.ID), req.FrameVA)
+	m.yieldTo(s, isa.ScenarioProxy, req.FrameVA, 0)
+	return true
+}
+
+// yieldTo performs the YIELD-CONDITIONAL flyweight control transfer
+// (§2.4): the current shred's context is saved to the hidden slot and
+// execution continues in the registered handler with r1/r2 describing
+// the event.
+func (m *Machine) yieldTo(s *Sequencer, sc isa.Scenario, a1, a2 uint64) {
+	s.YieldSave = s.SnapshotCtx()
+	s.InHandler = true
+	s.Regs[isa.RArg0] = a1
+	s.Regs[isa.RArg1] = a2
+	s.PC = s.Yield[sc]
+	s.Clock += m.Cfg.YieldCost
+	s.C.YieldsTaken++
+	m.Trace.add(s.Clock, s.ID, EvYield, uint64(sc), a1)
+}
+
+// sret returns from a yield handler to the interrupted shred.
+func (m *Machine) sret(s *Sequencer) {
+	if !s.InHandler {
+		m.fatalf("core: SRET outside a handler on %s at pc 0x%x", s.Name(), s.PC)
+		return
+	}
+	s.RestoreCtx(s.YieldSave)
+	s.InHandler = false
+	s.Clock += m.Cfg.YieldCost
+	m.Trace.add(s.Clock, s.ID, EvSret, 0, 0)
+}
+
+// StepOnce advances the machine by a single event (test hook).
+func (m *Machine) StepOnce() error {
+	s := m.pickNext()
+	if s == nil {
+		return fmt.Errorf("core: no runnable sequencer")
+	}
+	m.step(s)
+	return m.stopErr
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+
+	"misp/internal/isa"
+	"misp/internal/mem"
+)
+
+// fault describes a trap raised mid-instruction. The instruction did
+// not commit; s.PC still points at it.
+type fault struct {
+	trap isa.Trap
+	info uint64
+}
+
+// Page-fault info encoding: low 32 bits = faulting VA, plus access bits.
+const (
+	PFWrite uint64 = 1 << 63
+	PFFetch uint64 = 1 << 62
+)
+
+// PFAddr extracts the faulting virtual address from trap info.
+func PFAddr(info uint64) uint64 { return info & 0xFFFF_FFFF }
+
+// PFIsWrite reports whether the faulting access was a write.
+func PFIsWrite(info uint64) bool { return info&PFWrite != 0 }
+
+func pfFault(va uint64, write, fetch bool) *fault {
+	info := va & 0xFFFF_FFFF
+	if write {
+		info |= PFWrite
+	}
+	if fetch {
+		info |= PFFetch
+	}
+	return &fault{trap: isa.TrapPageFault, info: info}
+}
+
+// translate resolves va for a data access on s, consulting the TLB and
+// walking the page table on a miss (charging the walk). With paging
+// disabled (CR0), addresses are physical.
+func (m *Machine) translate(s *Sequencer, va uint64, write bool) (uint64, *fault) {
+	if s.CRs[isa.CR0]&isa.CR0Paging == 0 {
+		if !m.Phys.InRange(va, 1) {
+			return 0, &fault{trap: isa.TrapGP, info: va}
+		}
+		return va, nil
+	}
+	if pfn, ok := s.TLB.Lookup(va, write); ok {
+		return uint64(pfn)<<mem.PageShift | va&mem.PageMask, nil
+	}
+	s.Clock += m.Cfg.WalkCost
+	pte, k := mem.Walk(m.Phys, s.CRs[isa.CR3], va, write, s.Ring == isa.Ring3)
+	if k != mem.FaultNone {
+		return 0, pfFault(va, write, false)
+	}
+	s.TLB.Insert(va, mem.PTEFrame(pte), pte&mem.PTEWritable != 0)
+	return uint64(mem.PTEFrame(pte))<<mem.PageShift | va&mem.PageMask, nil
+}
+
+// loadN reads size bytes (1, 2, 4, 8) at va, little-endian,
+// zero-extended. Accesses may straddle a page boundary.
+func (m *Machine) loadN(s *Sequencer, va uint64, size uint) (uint64, *fault) {
+	if va&mem.PageMask+uint64(size) <= mem.PageSize {
+		pa, f := m.translate(s, va, false)
+		if f != nil {
+			return 0, f
+		}
+		switch size {
+		case 1:
+			return uint64(m.Phys.ReadU8(pa)), nil
+		case 2:
+			return uint64(m.Phys.ReadU16(pa)), nil
+		case 4:
+			return uint64(m.Phys.ReadU32(pa)), nil
+		default:
+			return m.Phys.ReadU64(pa), nil
+		}
+	}
+	// Page-straddling access: byte at a time.
+	var v uint64
+	for i := uint(0); i < size; i++ {
+		pa, f := m.translate(s, va+uint64(i), false)
+		if f != nil {
+			return 0, f
+		}
+		v |= uint64(m.Phys.ReadU8(pa)) << (8 * i)
+	}
+	return v, nil
+}
+
+// storeN writes size bytes at va, little-endian.
+func (m *Machine) storeN(s *Sequencer, va uint64, size uint, v uint64) *fault {
+	if va&mem.PageMask+uint64(size) <= mem.PageSize {
+		pa, f := m.translate(s, va, true)
+		if f != nil {
+			return f
+		}
+		switch size {
+		case 1:
+			m.Phys.WriteU8(pa, uint8(v))
+		case 2:
+			m.Phys.WriteU16(pa, uint16(v))
+		case 4:
+			m.Phys.WriteU32(pa, uint32(v))
+		default:
+			m.Phys.WriteU64(pa, v)
+		}
+		return nil
+	}
+	for i := uint(0); i < size; i++ {
+		pa, f := m.translate(s, va+uint64(i), true)
+		if f != nil {
+			return f
+		}
+		m.Phys.WriteU8(pa, uint8(v>>(8*i)))
+	}
+	return nil
+}
+
+// fetch reads the instruction word at s.PC through the per-sequencer
+// fetch micro-cache.
+func (m *Machine) fetch(s *Sequencer) (isa.Instr, *fault) {
+	pc := s.PC
+	if pc%isa.WordSize != 0 {
+		return isa.Instr{}, &fault{trap: isa.TrapBadInstr, info: pc}
+	}
+	if s.CRs[isa.CR0]&isa.CR0Paging == 0 {
+		if !m.Phys.InRange(pc, isa.WordSize) {
+			return isa.Instr{}, &fault{trap: isa.TrapGP, info: pc}
+		}
+		return isa.Decode(m.Phys.ReadU64(pc)), nil
+	}
+	vpn := pc >> mem.PageShift
+	if s.fetchVPN != vpn+1 {
+		if pfn, ok := s.TLB.Lookup(pc, false); ok {
+			s.fetchVPN = vpn + 1
+			s.fetchBase = uint64(pfn) << mem.PageShift
+		} else {
+			s.Clock += m.Cfg.WalkCost
+			pte, k := mem.Walk(m.Phys, s.CRs[isa.CR3], pc, false, s.Ring == isa.Ring3)
+			if k != mem.FaultNone {
+				return isa.Instr{}, pfFault(pc, false, true)
+			}
+			s.TLB.Insert(pc, mem.PTEFrame(pte), pte&mem.PTEWritable != 0)
+			s.fetchVPN = vpn + 1
+			s.fetchBase = uint64(mem.PTEFrame(pte)) << mem.PageShift
+		}
+	}
+	return isa.Decode(m.Phys.ReadU64(s.fetchBase | pc&mem.PageMask)), nil
+}
+
+// writeCtxFrame spills s's architectural context to the frame at va
+// (SAVECTX / firmware proxy save). pc is the frame's continuation PC;
+// f, when non-nil, records the pending trap that triggered the save.
+func (m *Machine) writeCtxFrame(s *Sequencer, va, pc uint64, f *fault) *fault {
+	for i := 0; i < isa.NumRegs; i++ {
+		if ff := m.storeN(s, va+isa.CtxRegs+uint64(i)*8, 8, s.Regs[i]); ff != nil {
+			return ff
+		}
+		if ff := m.storeN(s, va+isa.CtxFRegs+uint64(i)*8, 8, math.Float64bits(s.FRegs[i])); ff != nil {
+			return ff
+		}
+	}
+	if ff := m.storeN(s, va+isa.CtxPC, 8, pc); ff != nil {
+		return ff
+	}
+	if ff := m.storeN(s, va+isa.CtxTP, 8, s.TP); ff != nil {
+		return ff
+	}
+	var trap, info uint64
+	if f != nil {
+		trap, info = uint64(f.trap), f.info
+	}
+	if ff := m.storeN(s, va+isa.CtxTrap, 8, trap); ff != nil {
+		return ff
+	}
+	return m.storeN(s, va+isa.CtxTInfo, 8, info)
+}
+
+// readCtxFrame installs the context frame at va into s (LDCTX /
+// firmware proxy restore). Execution continues at the frame's PC.
+func (m *Machine) readCtxFrame(s *Sequencer, va uint64) *fault {
+	var regs [isa.NumRegs]uint64
+	var fregs [isa.NumRegs]float64
+	for i := 0; i < isa.NumRegs; i++ {
+		v, f := m.loadN(s, va+isa.CtxRegs+uint64(i)*8, 8)
+		if f != nil {
+			return f
+		}
+		regs[i] = v
+		fv, f := m.loadN(s, va+isa.CtxFRegs+uint64(i)*8, 8)
+		if f != nil {
+			return f
+		}
+		fregs[i] = math.Float64frombits(fv)
+	}
+	pc, f := m.loadN(s, va+isa.CtxPC, 8)
+	if f != nil {
+		return f
+	}
+	tp, f := m.loadN(s, va+isa.CtxTP, 8)
+	if f != nil {
+		return f
+	}
+	s.Regs, s.FRegs, s.PC, s.TP = regs, fregs, pc, tp
+	return nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind classifies fine-grained firmware events (§4.1: the
+// prototype's time-stamped event log).
+type EventKind uint8
+
+const (
+	EvRingEnter EventKind = iota
+	EvRingExit
+	EvSuspendAMS
+	EvResumeAMS
+	EvSignalSend
+	EvSignalStart
+	EvProxyRequest
+	EvProxyDeliver
+	EvProxyDone
+	EvYield
+	EvSret
+	EvCtxSwitch
+	EvProcExit
+	EvKernel
+	EvRebind
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	"ring-enter", "ring-exit", "suspend-ams", "resume-ams",
+	"signal-send", "signal-start", "proxy-request", "proxy-deliver",
+	"proxy-done", "yield", "sret", "ctx-switch", "proc-exit", "kernel",
+	"rebind-ams",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "event?"
+}
+
+// Event is one fine-grained log record.
+type Event struct {
+	TS   uint64
+	Seq  int
+	Kind EventKind
+	A, B uint64
+}
+
+// Trace is the firmware event log: coarse counters live on the
+// sequencers; this is the optional fine-grained, time-stamped record.
+type Trace struct {
+	Enabled bool
+	Events  []Event
+	Dropped uint64
+	max     int
+}
+
+func newTrace(enabled bool, max int) *Trace {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	return &Trace{Enabled: enabled, max: max}
+}
+
+func (t *Trace) add(ts uint64, seq int, kind EventKind, a, b uint64) {
+	if !t.Enabled {
+		return
+	}
+	if len(t.Events) >= t.max {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, Event{TS: ts, Seq: seq, Kind: kind, A: a, B: b})
+}
+
+// String renders the log for debugging.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events {
+		fmt.Fprintf(&b, "%12d seq%-2d %-14s a=0x%x b=0x%x\n", e.TS, e.Seq, e.Kind, e.A, e.B)
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(&b, "(%d events dropped)\n", t.Dropped)
+	}
+	return b.String()
+}
+
+// CountKind returns how many logged events have the given kind.
+func (t *Trace) CountKind(k EventKind) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

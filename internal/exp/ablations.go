@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"misp/internal/core"
+	"misp/internal/overhead"
+	"misp/internal/report"
+	"misp/internal/shredlib"
+	"misp/internal/workloads"
+)
+
+// This file implements the ablations DESIGN.md calls out:
+//
+//	A1 — ring-transition policy: suspend-all (the paper's prototype)
+//	     vs monitor-CR (the "more aggressive microarchitecture" of §2.3
+//	     that lets AMSs run speculatively through ring-0 episodes).
+//	A2 — page probing (§5.3): the OMS probes the data segment in the
+//	     serial region, eliminating most AMS proxy page faults.
+//	A3 — signal-cost sweep: re-simulate (not just model) the machine at
+//	     several inter-sequencer signal costs and compare against the
+//	     Equation 1–2 prediction.
+
+// RingPolicyRow compares the two ring-transition policies for one app.
+type RingPolicyRow struct {
+	Name             string
+	CyclesSuspend    uint64
+	CyclesMonitor    uint64
+	RingStallSuspend uint64
+	RingStallMonitor uint64
+	MonitorSpeedup   float64
+}
+
+// AblationRingPolicy runs the selected apps on MISP 1×N under both
+// policies.
+func AblationRingPolicy(opt Options) ([]RingPolicyRow, error) {
+	opt.defaults()
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	var out []RingPolicyRow
+	for _, w := range ws {
+		row := RingPolicyRow{Name: w.Name}
+		for _, policy := range []core.RingPolicy{core.RingSuspendAll, core.RingMonitorCR} {
+			cfg := opt.Config(core.Topology{opt.Seqs - 1})
+			cfg.RingPolicy = policy
+			res, err := workloads.Run(w, shredlib.ModeShred, cfg, opt.Size)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkRun(w, res, policy.String(), opt.Size); err != nil {
+				return nil, err
+			}
+			var stall uint64
+			for _, a := range res.Machine.Procs[0].AMSs() {
+				stall += a.C.RingStall
+			}
+			if policy == core.RingSuspendAll {
+				row.CyclesSuspend = res.Cycles
+				row.RingStallSuspend = stall
+			} else {
+				row.CyclesMonitor = res.Cycles
+				row.RingStallMonitor = stall
+			}
+		}
+		row.MonitorSpeedup = float64(row.CyclesSuspend) / float64(row.CyclesMonitor)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RingPolicyTable renders A1.
+func RingPolicyTable(rows []RingPolicyRow) *report.Table {
+	t := &report.Table{
+		Title: "A1 — Ring-transition policy: suspend-all vs monitor-CR (MISP 1x8)",
+		Cols:  []string{"app", "suspend-all cycles", "monitor-CR cycles", "stall(susp)", "stall(mon)", "monitor speedup"},
+	}
+	for _, r := range rows {
+		t.Add(r.Name, r.CyclesSuspend, r.CyclesMonitor, r.RingStallSuspend, r.RingStallMonitor, r.MonitorSpeedup)
+	}
+	return t
+}
+
+// ProbeRow compares demand paging against serial-region page probing.
+type ProbeRow struct {
+	Name          string
+	AMSPFBase     uint64
+	AMSPFProbed   uint64
+	CyclesBase    uint64
+	CyclesProbed  uint64
+	ProbedSpeedup float64
+}
+
+// AblationProbe runs the selected apps with and without the page-probe
+// optimization (§5.3).
+func AblationProbe(opt Options) ([]ProbeRow, error) {
+	opt.defaults()
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	var out []ProbeRow
+	for _, w := range ws {
+		row := ProbeRow{Name: w.Name}
+		for _, probe := range []bool{false, true} {
+			if probe {
+				workloads.ExtraFlags = shredlib.FlagProbePages
+			} else {
+				workloads.ExtraFlags = 0
+			}
+			res, err := workloads.Run(w, shredlib.ModeShred, opt.Config(core.Topology{opt.Seqs - 1}), opt.Size)
+			workloads.ExtraFlags = 0
+			if err != nil {
+				return nil, err
+			}
+			if err := checkRun(w, res, "probe ablation", opt.Size); err != nil {
+				return nil, err
+			}
+			var pf uint64
+			for _, a := range res.Machine.Procs[0].AMSs() {
+				pf += a.C.ProxyPageFaults
+			}
+			if probe {
+				row.AMSPFProbed = pf
+				row.CyclesProbed = res.Cycles
+			} else {
+				row.AMSPFBase = pf
+				row.CyclesBase = res.Cycles
+			}
+		}
+		row.ProbedSpeedup = float64(row.CyclesBase) / float64(row.CyclesProbed)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ProbeTable renders A2.
+func ProbeTable(rows []ProbeRow) *report.Table {
+	t := &report.Table{
+		Title: "A2 — Page-probe optimization (§5.3): AMS proxy page faults and runtime",
+		Cols:  []string{"app", "AMS PF (demand)", "AMS PF (probed)", "cycles (demand)", "cycles (probed)", "probed speedup"},
+	}
+	for _, r := range rows {
+		t.Add(r.Name, r.AMSPFBase, r.AMSPFProbed, r.CyclesBase, r.CyclesProbed, r.ProbedSpeedup)
+	}
+	return t
+}
+
+// SweepRow holds one app × signal-cost measurement.
+type SweepRow struct {
+	Name      string
+	Signal    uint64
+	Cycles    uint64
+	Measured  float64 // measured overhead vs the zero-cost run
+	Predicted float64 // Equation 1–2 prediction from event counts
+}
+
+// AblationSignalSweep re-simulates the machine at several signal costs
+// and compares the measured slowdown with the analytic model.
+func AblationSignalSweep(opt Options, signals []uint64) ([]SweepRow, error) {
+	opt.defaults()
+	if signals == nil {
+		signals = []uint64{0, 500, 1000, 5000}
+	}
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepRow
+	for _, w := range ws {
+		var base uint64
+		var baseEv overhead.Events
+		for i, sig := range signals {
+			cfg := opt.Config(core.Topology{opt.Seqs - 1})
+			cfg.SignalCost = sig
+			res, err := workloads.Run(w, shredlib.ModeShred, cfg, opt.Size)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkRun(w, res, "signal sweep", opt.Size); err != nil {
+				return nil, err
+			}
+			ev := overhead.Collect(res.Machine)
+			if i == 0 {
+				base = res.Cycles
+				baseEv = ev
+			}
+			row := SweepRow{Name: w.Name, Signal: sig, Cycles: res.Cycles}
+			row.Measured = float64(res.Cycles)/float64(base) - 1
+			row.Predicted = float64(overhead.SignalCycles(baseEv, sig)) / float64(base)
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// SweepTable renders A3.
+func SweepTable(rows []SweepRow) *report.Table {
+	t := &report.Table{
+		Title: "A3 — Signal-cost sweep: measured vs modeled overhead (vs zero-cost signal)",
+		Cols:  []string{"app", "signal", "cycles", "measured overhead", "modeled overhead"},
+	}
+	for _, r := range rows {
+		t.Add(r.Name, r.Signal, r.Cycles, report.Pct(r.Measured), report.Pct(r.Predicted))
+	}
+	return t
+}

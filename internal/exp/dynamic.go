@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+
+	"misp/internal/core"
+	"misp/internal/kernel"
+	"misp/internal/report"
+	"misp/internal/shredlib"
+	"misp/internal/workloads"
+)
+
+// A4 — dynamic AMS binding (§5.4/§7 future work). A shredded
+// application confined to one MISP processor (FlagNoMP) runs on the
+// 4×2 configuration; without dynamic binding it can use only its own
+// processor's 1 OMS + 1 AMS, while three AMSs sit idle behind other
+// OMSs. With the kernel's dynamic binder, those quiescent AMSs are
+// rebound to the application's processor one per timer tick, and the
+// gang scheduler starts workers on them as they arrive.
+
+// DynamicRow is one scenario of the dynamic-binding ablation.
+type DynamicRow struct {
+	Scenario      string
+	StaticCycles  uint64
+	DynamicCycles uint64
+	Rebinds       uint64
+	Speedup       float64
+}
+
+// AblationDynamicBinding runs the A4 scenarios.
+func AblationDynamicBinding(opt Options) ([]DynamicRow, error) {
+	opt.defaults()
+	app := "raytracer"
+	if len(opt.Apps) == 1 {
+		app = opt.Apps[0]
+	}
+	w, err := workloads.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	scenarios := []struct {
+		name  string
+		top   core.Topology
+		loads int
+	}{
+		{"4x2, idle donors", core.Topology{1, 1, 1, 1}, 0},
+		{"4x2, 3 spinners on donors", core.Topology{1, 1, 1, 1}, 3},
+	}
+	var out []DynamicRow
+	for _, sc := range scenarios {
+		row := DynamicRow{Scenario: sc.name}
+		for _, dynamic := range []bool{false, true} {
+			cycles, rebinds, err := dynamicRun(w, opt, sc.top, sc.loads, dynamic)
+			if err != nil {
+				return nil, fmt.Errorf("exp: A4 %q dynamic=%v: %w", sc.name, dynamic, err)
+			}
+			if dynamic {
+				row.DynamicCycles = cycles
+				row.Rebinds = rebinds
+			} else {
+				row.StaticCycles = cycles
+			}
+		}
+		row.Speedup = float64(row.StaticCycles) / float64(row.DynamicCycles)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func dynamicRun(w *workloads.Workload, opt Options, top core.Topology, loads int, dynamic bool) (uint64, uint64, error) {
+	cfg := opt.Config(top)
+	// Frequent ticks: the binder acts once per tick.
+	cfg.TimerInterval = 50_000
+	m, err := core.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	k := kernel.New(m)
+	k.DynamicAMSBinding = dynamic
+
+	workloads.ExtraFlags = shredlib.FlagNoMP
+	prog := w.Build(shredlib.ModeShred, opt.Size)
+	workloads.ExtraFlags = 0
+
+	app, err := k.Spawn(w.Name, prog)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < loads; i++ {
+		if _, err := k.Spawn(fmt.Sprintf("spin%d", i), workloads.SpinForever()); err != nil {
+			return 0, 0, err
+		}
+	}
+	k.StopPredicate = func() bool { return app.Exited }
+	if err := m.Run(); err != nil {
+		return 0, 0, err
+	}
+	if err := k.Err(); err != nil {
+		return 0, 0, err
+	}
+	bits, err := app.Space.ReadU64(shredlib.ResultAddr)
+	if err != nil {
+		return 0, 0, err
+	}
+	res := workloads.RunResult{Checksum: floatFromBits(bits)}
+	if err := checkRun(w, &res, "A4", opt.Size); err != nil {
+		return 0, 0, err
+	}
+	return app.ExitTime - app.StartTime, k.Stats.Rebinds, nil
+}
+
+// DynamicTable renders A4.
+func DynamicTable(rows []DynamicRow) *report.Table {
+	t := &report.Table{
+		Title: "A4 — Dynamic AMS binding (§5.4/§7): confined shredded app on 4x2",
+		Cols:  []string{"scenario", "static cycles", "dynamic cycles", "rebinds", "dynamic speedup"},
+	}
+	for _, r := range rows {
+		t.Add(r.Scenario, r.StaticCycles, r.DynamicCycles, r.Rebinds, r.Speedup)
+	}
+	return t
+}

@@ -1,0 +1,166 @@
+package isa
+
+// NumRegs is the number of integer registers (and, separately, the
+// number of f64 registers).
+const NumRegs = 16
+
+// Integer register conventions (the SVM-32 ABI).
+//
+//	r0        syscall number / function return value
+//	r1..r5    arguments (caller-saved)
+//	r6..r9    temporaries (caller-saved)
+//	r10..r13  callee-saved
+//	r14 (LR)  link register
+//	r15 (SP)  stack pointer
+const (
+	RRet  = 0
+	RArg0 = 1
+	RArg1 = 2
+	RArg2 = 3
+	RArg3 = 4
+	RArg4 = 5
+	RTmp0 = 6
+	RTmp1 = 7
+	RTmp2 = 8
+	RTmp3 = 9
+	RSav0 = 10
+	RSav1 = 11
+	RSav2 = 12
+	RSav3 = 13
+	LR    = 14
+	SP    = 15
+)
+
+// Float register conventions: f0 return, f1..f5 args, f6..f9 temps,
+// f10..f15 callee-saved.
+const (
+	FRet  = 0
+	FArg0 = 1
+	FTmp0 = 6
+	FSav0 = 10
+)
+
+// Ring is a privilege level. Ring 0 is the kernel, ring 3 the
+// application, mirroring the IA-32 terminology used in the paper.
+type Ring uint8
+
+const (
+	Ring0 Ring = 0 // OS kernel
+	Ring3 Ring = 3 // user
+)
+
+// Trap identifies the architectural condition that transferred control
+// to ring 0 (or, on an AMS, that triggered proxy execution).
+type Trap uint8
+
+const (
+	TrapNone      Trap = iota
+	TrapSyscall        // SYSCALL instruction
+	TrapPageFault      // translation failure
+	TrapTimer          // timer interrupt (OMS only)
+	TrapInterrupt      // other external interrupt (e.g. TLB-shootdown IPI)
+	TrapBreak          // BRK instruction
+	TrapDivZero        // integer division by zero
+	TrapBadInstr       // undefined or malformed instruction
+	TrapGP             // general protection (privileged op in ring 3, bad SID, ...)
+	NumTraps
+)
+
+var trapNames = [NumTraps]string{
+	"none", "syscall", "pagefault", "timer", "interrupt",
+	"break", "divzero", "badinstr", "gp",
+}
+
+func (t Trap) String() string {
+	if int(t) < len(trapNames) {
+		return trapNames[t]
+	}
+	return "trap?"
+}
+
+// Control registers (ring 0 state shared across a MISP processor's
+// sequencers; §2.3). CR3 holds the page-table base, as in IA-32.
+type CR uint8
+
+const (
+	CR0    CR = 0 // feature bits (bit 0: paging enabled)
+	CR3    CR = 3 // page-table base physical address
+	NumCRs    = 8
+)
+
+// CR0 feature bits.
+const (
+	CR0Paging uint64 = 1 << 0
+)
+
+// Scenario identifies a YIELD-CONDITIONAL trigger for which user code
+// can register a handler with SETYIELD (§2.4).
+type Scenario uint8
+
+const (
+	// ScenarioProxy fires on an OMS when one of its AMSs relays a
+	// fault-type proxy request (§2.5).
+	ScenarioProxy Scenario = 0
+	// ScenarioSignal fires when a SIGNAL arrives at a sequencer that is
+	// already running a shred (an ingress user-level asynchronous
+	// control transfer).
+	ScenarioSignal Scenario = 1
+	NumScenarios            = 2
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioProxy:
+		return "proxy"
+	case ScenarioSignal:
+		return "signal"
+	}
+	return "scenario?"
+}
+
+// System call numbers (passed in r0).
+const (
+	SysExit         = 1  // exit(status): terminate the process
+	SysThreadExit   = 2  // thread_exit(status): terminate the calling OS thread
+	SysWrite        = 3  // write(buf, len): console output
+	SysBrk          = 4  // brk(newBrk) -> old/new brk: grow the heap
+	SysYield        = 5  // yield(): surrender the rest of the quantum
+	SysClock        = 6  // clock() -> global cycles
+	SysThreadCreate = 7  // thread_create(ip, sp, arg) -> tid
+	SysThreadJoin   = 8  // thread_join(tid) -> status
+	SysPrefault     = 9  // prefault(addr, len): populate pages eagerly (the §5.3 page-probe optimization)
+	SysGetTid       = 10 // gettid() -> tid
+	SysSetAMSDemand = 11 // set_ams_demand(n): scheduler hint — this thread drives n AMSs
+	SysSleep        = 12 // sleep(cycles): block for at least the given simulated cycles
+	SysTopology     = 13 // topology(buf): write [nproc, amsCount...] u64s to buf
+	NumSys          = 14
+)
+
+// SysName returns a human-readable name for a syscall number.
+func SysName(n uint64) string {
+	names := [...]string{
+		0: "sys?", SysExit: "exit", SysThreadExit: "thread_exit",
+		SysWrite: "write", SysBrk: "brk", SysYield: "yield",
+		SysClock: "clock", SysThreadCreate: "thread_create",
+		SysThreadJoin: "thread_join", SysPrefault: "prefault",
+		SysGetTid: "gettid", SysSetAMSDemand: "set_ams_demand",
+		SysSleep: "sleep", SysTopology: "topology",
+	}
+	if n < uint64(len(names)) && names[n] != "" {
+		return names[n]
+	}
+	return "sys?"
+}
+
+// Context frame layout written by SAVECTX and consumed by LDCTX and
+// PROXYEXEC. All offsets are in bytes from the frame base. The frame
+// holds the complete ring-3 architectural state of one sequencer.
+const (
+	CtxRegs  = 0               // 16 x 8 bytes: integer registers
+	CtxFRegs = CtxRegs + 16*8  // 16 x 8 bytes: float registers
+	CtxPC    = CtxFRegs + 16*8 // 8 bytes: program counter
+	CtxTP    = CtxPC + 8       // 8 bytes: thread pointer
+	CtxTrap  = CtxTP + 8       // 8 bytes: pending trap code (proxy frames)
+	CtxTInfo = CtxTrap + 8     // 8 bytes: trap info (faulting VA / syscall #)
+	CtxSize  = CtxTInfo + 8    // total frame size: 296 bytes
+)

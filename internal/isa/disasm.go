@@ -1,0 +1,83 @@
+package isa
+
+import "fmt"
+
+// RegName returns the conventional name of integer register r.
+func RegName(r uint8) string {
+	switch r {
+	case LR:
+		return "lr"
+	case SP:
+		return "sp"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// FRegName returns the name of float register r.
+func FRegName(r uint8) string { return fmt.Sprintf("f%d", r) }
+
+// Disasm renders i as assembler text. pc, when nonzero, is used to
+// resolve branch targets to absolute addresses; with pc == 0 branch
+// offsets are shown relative (".+N").
+func Disasm(i Instr, pc uint64) string {
+	if !Valid(i.Op) {
+		return fmt.Sprintf(".word 0x%016x", i.Encode())
+	}
+	info := infos[i.Op]
+	n := info.Name
+	target := func() string {
+		if pc != 0 {
+			return fmt.Sprintf("0x%x", uint64(int64(pc)+int64(i.Imm)))
+		}
+		if i.Imm >= 0 {
+			return fmt.Sprintf(".+%d", i.Imm)
+		}
+		return fmt.Sprintf(".%d", i.Imm)
+	}
+	switch info.Fmt {
+	case FmtNone:
+		return n
+	case FmtRd:
+		return fmt.Sprintf("%s %s", n, RegName(i.Rd))
+	case FmtR1:
+		return fmt.Sprintf("%s %s", n, RegName(i.Rs1))
+	case FmtR2:
+		return fmt.Sprintf("%s %s, %s", n, RegName(i.Rd), RegName(i.Rs1))
+	case FmtR3:
+		return fmt.Sprintf("%s %s, %s, %s", n, RegName(i.Rd), RegName(i.Rs1), RegName(i.Rs2))
+	case FmtR2I:
+		return fmt.Sprintf("%s %s, %s, %d", n, RegName(i.Rd), RegName(i.Rs1), i.Imm)
+	case FmtRI:
+		return fmt.Sprintf("%s %s, %d", n, RegName(i.Rd), i.Imm)
+	case FmtMem:
+		return fmt.Sprintf("%s %s, [%s%+d]", n, RegName(i.Rd), RegName(i.Rs1), i.Imm)
+	case FmtFMem:
+		return fmt.Sprintf("%s %s, [%s%+d]", n, FRegName(i.Rd), RegName(i.Rs1), i.Imm)
+	case FmtF3:
+		return fmt.Sprintf("%s %s, %s, %s", n, FRegName(i.Rd), FRegName(i.Rs1), FRegName(i.Rs2))
+	case FmtF2:
+		return fmt.Sprintf("%s %s, %s", n, FRegName(i.Rd), FRegName(i.Rs1))
+	case FmtFCmp:
+		return fmt.Sprintf("%s %s, %s, %s", n, RegName(i.Rd), FRegName(i.Rs1), FRegName(i.Rs2))
+	case FmtFI:
+		return fmt.Sprintf("%s %s, %s", n, FRegName(i.Rd), RegName(i.Rs1))
+	case FmtIF:
+		return fmt.Sprintf("%s %s, %s", n, RegName(i.Rd), FRegName(i.Rs1))
+	case FmtJmp:
+		return fmt.Sprintf("%s %s", n, target())
+	case FmtJal:
+		return fmt.Sprintf("%s %s, %s", n, RegName(i.Rd), target())
+	case FmtBranch:
+		return fmt.Sprintf("%s %s, %s, %s", n, RegName(i.Rs1), RegName(i.Rs2), target())
+	case FmtCRW:
+		return fmt.Sprintf("%s cr%d, %s", n, i.Imm, RegName(i.Rs1))
+	case FmtCRR:
+		return fmt.Sprintf("%s %s, cr%d", n, RegName(i.Rd), i.Imm)
+	case FmtSig:
+		return fmt.Sprintf("%s %s, %s, %s", n, RegName(i.Rd), RegName(i.Rs1), RegName(i.Rs2))
+	case FmtYield:
+		return fmt.Sprintf("%s %s, %d", n, RegName(i.Rs1), i.Imm)
+	}
+	return n
+}

@@ -1,0 +1,174 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"misp/internal/asm"
+	"misp/internal/core"
+)
+
+// TestMixedWorkloadStress runs a dozen processes of three kinds —
+// CPU-bound spinners, thread-spawning fan-outs, and a shredded
+// program — on an asymmetric topology, and requires every process to
+// finish with the right answer. Exercises scheduler fairness, AMS-demand
+// placement, cumulative-context switching and reaping all at once.
+func TestMixedWorkloadStress(t *testing.T) {
+	cfg := testCfg(core.Topology{3, 0, 1, 0})
+	cfg.MaxCycles = 8_000_000_000
+	k, m := newKernelT(t, cfg)
+
+	spin := asm.MustAssemble(spinProg)
+	threads := asm.MustAssemble(threadsProg)
+	// The raw shredded program signals SID 1 unconditionally, so on an
+	// asymmetric topology it must first declare its AMS demand and
+	// migrate to an AMS-bearing processor (what ShredLib's rt_init does).
+	shredded := asm.MustAssemble(`
+.entry start
+start:
+    li r1, 1
+    li r0, 11      ; set_ams_demand(1)
+    syscall
+mig:
+    seqid r6, 3
+    li r9, 0
+    bne r6, r9, go
+    li r0, 5       ; yield until placed on an AMS-bearing processor
+    syscall
+    j mig
+go:
+    j main
+` + shreddedProg)
+
+	var procs []*Process
+	for i := 0; i < 4; i++ {
+		p, err := k.Spawn(fmt.Sprintf("spin%d", i), spin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	for i := 0; i < 4; i++ {
+		p, err := k.Spawn(fmt.Sprintf("threads%d", i), threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	for i := 0; i < 4; i++ {
+		p, err := k.Spawn(fmt.Sprintf("shred%d", i), shredded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+
+	runK(t, k, m)
+
+	for i, p := range procs {
+		if !p.Exited {
+			t.Fatalf("process %d (%s) did not exit", i, p.Name)
+		}
+		var want uint64
+		switch {
+		case i < 4:
+			want = 1 // spinProg exits 1
+		case i < 8:
+			want = 6 // threadsProg sums 1+2+3
+		default:
+			want = 120000 // shreddedProg counter
+		}
+		if p.ExitCode != want {
+			t.Errorf("process %d (%s): exit %d, want %d", i, p.Name, p.ExitCode, want)
+		}
+	}
+	if k.Stats.Switches < 10 {
+		t.Errorf("suspiciously few context switches: %d", k.Stats.Switches)
+	}
+}
+
+// TestStressDeterminism repeats a smaller mixed run twice and demands
+// identical global instruction counts and exit times.
+func TestStressDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		cfg := testCfg(core.Topology{1, 0})
+		k, m := newKernelT(t, cfg)
+		a, _ := k.Spawn("shred", asm.MustAssemble(shreddedProg))
+		b, _ := k.Spawn("threads", asm.MustAssemble(threadsProg))
+		runK(t, k, m)
+		return a.ExitTime + b.ExitTime, m.Steps
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("nondeterministic: times %d/%d steps %d/%d", t1, t2, s1, s2)
+	}
+}
+
+// TestProcessKillReapsRemoteThreads verifies that exiting a process
+// whose threads run on several OMSs reaps them all via IPIs.
+func TestProcessKillReapsRemoteThreads(t *testing.T) {
+	// Main spawns 3 workers that spin forever, then exits the process.
+	src := `
+main:
+    li r10, 3
+spawn:
+    la r1, worker
+    li r2, 0
+    li r3, 0
+    li r4, 0
+    li r0, 7
+    syscall
+    addi r10, r10, -1
+    li r9, 0
+    bne r10, r9, spawn
+    ; give the workers time to get scheduled
+    li r1, 200000
+    li r0, 12      ; sleep
+    syscall
+    li r0, 1       ; exit(9) kills the whole process
+    li r1, 9
+    syscall
+worker:
+    j worker
+`
+	k, m := newKernelT(t, testCfg(core.Topology{0, 0, 0, 0}))
+	p, err := k.Spawn("killer", asm.MustAssemble(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long-lived survivor keeps the machine running after the kill so
+	// the reaping IPIs actually land.
+	survivor, err := k.Spawn("survivor", asm.MustAssemble(`
+main:
+    li r1, 1000000
+loop:
+    addi r1, r1, -1
+    li r9, 0
+    bne r1, r9, loop
+    li r0, 1
+    li r1, 1
+    syscall
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runK(t, k, m)
+	if !p.Exited || p.ExitCode != 9 {
+		t.Fatalf("process = (%v, %d), want (true, 9)", p.Exited, p.ExitCode)
+	}
+	if !survivor.Exited {
+		t.Fatal("survivor did not finish")
+	}
+	// No sequencer may still be occupied by a thread of the dead process.
+	for _, s := range m.Seqs {
+		if s.CurTID != 0 {
+			if th := k.Threads[s.CurTID]; th != nil && th.Proc == p {
+				t.Errorf("%s still occupied by dead process thread %d", s.Name(), s.CurTID)
+			}
+		}
+	}
+	if k.Stats.IPIs == 0 {
+		t.Error("no reaping IPIs were sent")
+	}
+}

@@ -1,0 +1,45 @@
+package mem
+
+import "testing"
+
+func BenchmarkTLBLookupHit(b *testing.B) {
+	var tlb TLB
+	tlb.Insert(0x1000, 42, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlb.Lookup(0x1000, false)
+	}
+}
+
+func BenchmarkTLBLookupMiss(b *testing.B) {
+	var tlb TLB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlb.Lookup(uint64(i)<<PageShift, false)
+	}
+}
+
+func BenchmarkPageWalk(b *testing.B) {
+	p, _ := NewPhys(16 << 20)
+	pt, _ := NewPageTable(p)
+	f, _ := p.AllocFrame()
+	pt.Map(0x10000, f, PTEWritable|PTEUser)
+	cr3 := pt.RootPA()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Walk(p, cr3, 0x10000, false, true)
+	}
+}
+
+func BenchmarkDemandFault(b *testing.B) {
+	p, _ := NewPhys(256 << 20)
+	s, _ := NewSpace(p)
+	s.AddVMA("heap", 0x1000_0000, 240<<20, true, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := 0x1000_0000 + uint64(i%50_000)*PageSize
+		if ok, err := s.HandleFault(va, true); !ok || err != nil {
+			b.Fatalf("fault failed at %#x: %v", va, err)
+		}
+	}
+}

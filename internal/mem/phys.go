@@ -1,0 +1,116 @@
+// Package mem implements the simulated machine's memory system:
+// physical memory with a frame allocator, two-level page tables stored
+// in (simulated) physical memory and walked by a hardware page walker,
+// per-sequencer TLBs, and per-process address spaces with demand-paged
+// virtual memory areas.
+//
+// All sequencers of all MISP processors share one physical memory and,
+// within a process, one virtual address space — the architectural
+// property (§2.3 of the paper) that preserves the shared-memory
+// programming model across OMS and AMSs.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Page geometry.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KiB
+	PageMask  = PageSize - 1
+)
+
+// Phys is the machine's physical memory: a flat byte array managed in
+// page-sized frames.
+type Phys struct {
+	data      []byte
+	free      []uint32 // free frame stack (frame numbers)
+	numFrames uint32
+}
+
+// NewPhys creates a physical memory of the given size, which must be a
+// positive multiple of PageSize. Frame 0 is reserved (never allocated)
+// so that a zero page-table entry can never denote a valid mapping.
+func NewPhys(size uint64) (*Phys, error) {
+	if size == 0 || size%PageSize != 0 {
+		return nil, fmt.Errorf("mem: physical size %d is not a positive multiple of %d", size, PageSize)
+	}
+	n := uint32(size / PageSize)
+	p := &Phys{
+		data:      make([]byte, size),
+		numFrames: n,
+		free:      make([]uint32, 0, n-1),
+	}
+	// Push frames in reverse so allocation order is ascending.
+	for f := n - 1; f >= 1; f-- {
+		p.free = append(p.free, f)
+	}
+	return p, nil
+}
+
+// Size returns the physical memory size in bytes.
+func (p *Phys) Size() uint64 { return uint64(len(p.data)) }
+
+// FreeFrames returns the number of allocatable frames remaining.
+func (p *Phys) FreeFrames() int { return len(p.free) }
+
+// AllocFrame allocates one zeroed frame and returns its frame number.
+func (p *Phys) AllocFrame() (uint32, error) {
+	if len(p.free) == 0 {
+		return 0, fmt.Errorf("mem: out of physical memory (%d frames)", p.numFrames)
+	}
+	f := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	base := uint64(f) << PageShift
+	clear(p.data[base : base+PageSize])
+	return f, nil
+}
+
+// FreeFrame returns a frame to the allocator.
+func (p *Phys) FreeFrame(f uint32) {
+	if f == 0 || f >= p.numFrames {
+		panic(fmt.Sprintf("mem: FreeFrame(%d) out of range", f))
+	}
+	p.free = append(p.free, f)
+}
+
+// InRange reports whether the physical byte range [pa, pa+n) is valid.
+func (p *Phys) InRange(pa, n uint64) bool {
+	return pa < uint64(len(p.data)) && n <= uint64(len(p.data))-pa
+}
+
+// Frame returns the byte slice of one whole frame.
+func (p *Phys) Frame(f uint32) []byte {
+	base := uint64(f) << PageShift
+	return p.data[base : base+PageSize]
+}
+
+// Bytes returns the slice [pa, pa+n). The caller must ensure the range
+// is valid (typically via a prior translation) and page-local.
+func (p *Phys) Bytes(pa, n uint64) []byte { return p.data[pa : pa+n] }
+
+// ReadU8 reads one byte of physical memory.
+func (p *Phys) ReadU8(pa uint64) uint8 { return p.data[pa] }
+
+// WriteU8 writes one byte of physical memory.
+func (p *Phys) WriteU8(pa uint64, v uint8) { p.data[pa] = v }
+
+// ReadU16 reads a little-endian uint16.
+func (p *Phys) ReadU16(pa uint64) uint16 { return binary.LittleEndian.Uint16(p.data[pa:]) }
+
+// WriteU16 writes a little-endian uint16.
+func (p *Phys) WriteU16(pa uint64, v uint16) { binary.LittleEndian.PutUint16(p.data[pa:], v) }
+
+// ReadU32 reads a little-endian uint32.
+func (p *Phys) ReadU32(pa uint64) uint32 { return binary.LittleEndian.Uint32(p.data[pa:]) }
+
+// WriteU32 writes a little-endian uint32.
+func (p *Phys) WriteU32(pa uint64, v uint32) { binary.LittleEndian.PutUint32(p.data[pa:], v) }
+
+// ReadU64 reads a little-endian uint64.
+func (p *Phys) ReadU64(pa uint64) uint64 { return binary.LittleEndian.Uint64(p.data[pa:]) }
+
+// WriteU64 writes a little-endian uint64.
+func (p *Phys) WriteU64(pa uint64, v uint64) { binary.LittleEndian.PutUint64(p.data[pa:], v) }

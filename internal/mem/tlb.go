@@ -1,0 +1,57 @@
+package mem
+
+// TLB is a per-sequencer translation lookaside buffer: direct-mapped,
+// indexed by the low bits of the virtual page number. Each sequencer
+// has its own TLB and its own hardware page walker, so (as §2.3 of the
+// paper requires) sequencers handle TLB misses independently while
+// executing in ring 3; only CR3 updates force synchronization.
+type TLB struct {
+	entries [tlbEntries]tlbEntry
+	// Statistics.
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+}
+
+const tlbEntries = 256
+
+type tlbEntry struct {
+	vpn   uint32 // virtual page number + 1 (0 = invalid)
+	pfn   uint32
+	write bool // writable
+}
+
+// Lookup returns the physical frame for va if cached with sufficient
+// permission. write selects a write access.
+func (t *TLB) Lookup(va uint64, write bool) (uint32, bool) {
+	vpn := uint32(va >> PageShift)
+	e := &t.entries[vpn&(tlbEntries-1)]
+	if e.vpn == vpn+1 && (!write || e.write) {
+		t.Hits++
+		return e.pfn, true
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Insert caches a translation from a completed page walk.
+func (t *TLB) Insert(va uint64, pfn uint32, writable bool) {
+	vpn := uint32(va >> PageShift)
+	t.entries[vpn&(tlbEntries-1)] = tlbEntry{vpn: vpn + 1, pfn: pfn, write: writable}
+}
+
+// Flush invalidates every entry (CR3 write, AMS resume synchronization,
+// TLB shootdown).
+func (t *TLB) Flush() {
+	clear(t.entries[:])
+	t.Flushes++
+}
+
+// FlushPage invalidates the entry for one page (INVLPG).
+func (t *TLB) FlushPage(va uint64) {
+	vpn := uint32(va >> PageShift)
+	e := &t.entries[vpn&(tlbEntries-1)]
+	if e.vpn == vpn+1 {
+		*e = tlbEntry{}
+	}
+}

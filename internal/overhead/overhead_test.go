@@ -1,0 +1,83 @@
+package overhead
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEquations(t *testing.T) {
+	// Paper §5.1 with the §5.2 cost assumption signal = 5000.
+	if got := Serialize(5000, 700); got != 10700 {
+		t.Errorf("Serialize = %d, want 10700", got)
+	}
+	if got := ProxyEgress(5000); got != 15000 {
+		t.Errorf("ProxyEgress = %d, want 15000", got)
+	}
+	if got := ProxyIngress(5000, 700); got != 5000+10700 {
+		t.Errorf("ProxyIngress = %d, want 15700", got)
+	}
+}
+
+func TestEquationIdentities(t *testing.T) {
+	// Structural identities from §5.1 must hold for any cost values.
+	f := func(signal, priv uint32) bool {
+		s, p := uint64(signal), uint64(priv)
+		if ProxyIngress(s, p) != s+Serialize(s, p) {
+			return false
+		}
+		if Serialize(s, p)-p != 2*s {
+			return false
+		}
+		return ProxyEgress(s) == 3*s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalCyclesLinear(t *testing.T) {
+	f := func(oms, ams uint16, sig uint16) bool {
+		ev := Events{OMS: uint64(oms), AMS: uint64(ams)}
+		// Linear in signal cost; zero at zero.
+		if SignalCycles(ev, 0) != 0 {
+			return false
+		}
+		return SignalCycles(ev, uint64(sig))*2 == SignalCycles(ev, uint64(sig)*2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSensitize(t *testing.T) {
+	ev := Events{OMS: 100, AMS: 50}
+	// At signal 5000: added = 100*2*5000 + 50*3*5000 = 1_750_000.
+	meas := uint64(10_000_000)
+	s := Sensitize(ev, meas, 5000, []uint64{0, 500, 1000, 5000})
+	if s.IdealCycles != meas-1_750_000 {
+		t.Fatalf("ideal = %d", s.IdealCycles)
+	}
+	if s.Overhead[0] != 0 {
+		t.Errorf("overhead at 0 = %v", s.Overhead[0])
+	}
+	// Monotonic in signal cost.
+	for i := 1; i < len(s.Overhead); i++ {
+		if s.Overhead[i] <= s.Overhead[i-1] {
+			t.Errorf("overhead not increasing: %v", s.Overhead)
+		}
+	}
+	// 5000-cycle overhead = 1.75e6 / 8.25e6.
+	want := 1.75e6 / 8.25e6
+	if diff := s.Overhead[3] - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("overhead[5000] = %v, want %v", s.Overhead[3], want)
+	}
+}
+
+func TestSensitizeDegenerate(t *testing.T) {
+	// Added cycles exceeding the measurement must not panic or divide
+	// by zero.
+	s := Sensitize(Events{OMS: 1 << 40}, 10, 5000, []uint64{5000})
+	if s.IdealCycles == 0 {
+		t.Fatal("ideal must stay positive")
+	}
+}

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title: "demo",
+		Cols:  []string{"name", "value"},
+	}
+	tbl.Add("alpha", 1.5)
+	tbl.Add("beta-long-name", 42)
+	s := tbl.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "alpha") {
+		t.Fatalf("bad render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title, header, separator, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	// Columns align: header and rows have the same prefix width.
+	if !strings.HasPrefix(lines[3], "alpha          ") {
+		t.Errorf("column not padded: %q", lines[3])
+	}
+	if !strings.Contains(s, "1.500") {
+		t.Errorf("float not formatted: %s", s)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := &Table{Cols: []string{"a", "b"}}
+	tbl.Add(`quote"inside`, "with,comma")
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"quote""inside"`) || !strings.Contains(csv, `"with,comma"`) {
+		t.Fatalf("bad CSV: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("missing header: %s", csv)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.0015) != "0.150%" {
+		t.Errorf("Pct = %q", Pct(0.0015))
+	}
+}

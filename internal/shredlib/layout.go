@@ -1,0 +1,127 @@
+// Package shredlib emits the user-level multi-shredding runtime of the
+// paper's §3–4 — ShredLib — as SVM-32 assembly. The runtime implements
+// the M:N work-queue gang scheduler of Figure 3: shred continuations
+// (IP, SP pairs) live in a mutex-protected shared-memory queue; gang
+// scheduler loops run concurrently on the OMS and on every AMS
+// (started with SIGNAL) and contend for the queue; the canonical proxy
+// handler is registered with YIELD-CONDITIONAL and services every
+// proxy condition with a single PROXYEXEC.
+//
+// The same package also emits "threadlib": an implementation of the
+// identical runtime API on OS threads, used for the paper's SMP
+// baseline. A workload program calls only rt_* symbols, so switching a
+// workload between MISP shreds and OS threads is a link-time choice —
+// the reproduction of the paper's claim that porting is "include one
+// header and recompile" (§5.5).
+package shredlib
+
+import "misp/internal/asm"
+
+// Mode selects which runtime Emit generates.
+type Mode int
+
+const (
+	// ModeShred is ShredLib proper: gang scheduling on MISP sequencers.
+	ModeShred Mode = iota
+	// ModeThread is threadlib: the same API on OS threads (SMP baseline).
+	ModeThread
+)
+
+func (m Mode) String() string {
+	if m == ModeThread {
+		return "threadlib"
+	}
+	return "shredlib"
+}
+
+// Runtime arena layout. The firmware save areas occupy the start of the
+// arena (core.SaveAreaBase); the runtime's structures follow.
+const (
+	// RTBase is the runtime control block.
+	RTBase = asm.RuntimeArenaBase + 0x8000
+
+	offQLock     = 0   // work-queue spinlock
+	offQHead     = 8   // dequeue index (monotonic)
+	offQTail     = 16  // enqueue index (monotonic)
+	offCreated   = 24  // shreds created (monotonic)
+	offDone      = 32  // shreds completed (monotonic)
+	offDoneFlag  = 40  // shutdown flag
+	offStackNext = 48  // bump allocator for shred stacks
+	offFlags     = 56  // runtime flags (FlagYieldOnIdle)
+	offSLock     = 64  // stack freelist spinlock
+	offSFreeTop  = 72  // stack freelist depth
+	offTLSNext   = 80  // TLS slot bump allocator
+	offHNext     = 88  // shred handle bump allocator
+	offClaimed   = 128 // per-processor claim bitmap: 64 u64 slots
+	offStarted   = 640 // per-processor started-worker counts: 64 u64 slots
+
+	// QueueBase is the continuation ring buffer: QCap entries of
+	// (IP, SP), 16 bytes each.
+	QueueBase = RTBase + 0x1000
+	QCap      = 16384
+
+	// SFreeBase is the stack freelist array (stack base addresses).
+	SFreeBase = QueueBase + QCap*16
+
+	// TLSBase holds 64 bytes of per-sequencer runtime state, indexed by
+	// global sequencer ID.
+	TLSBase = SFreeBase + 2048*8
+
+	tlsSchedSP  = 0  // scheduler stack pointer
+	tlsLoopTop  = 8  // scheduler loop re-entry address
+	tlsFreePend = 16 // shred stack awaiting recycling
+	tlsIdleSpin = 24 // empty-queue iterations since the last OS yield
+	tlsJoinFlag = 32 // rt_join_drain: address of the awaited done flag
+	tlsUser     = 40 // start of the 24-byte user TLS block (rt_tls_get)
+	tlsSlots    = 64
+
+	// yieldSpinThreshold is how many empty-queue iterations an
+	// OS-visible gang scheduler spins before yielding to the OS when
+	// FlagYieldOnIdle is set (OpenMP-runtime-style spin-then-yield; an
+	// immediate yield would serialize the AMSs through the ring
+	// transitions of the yield system call itself).
+	yieldSpinThreshold = 2048
+
+	// TopoBuf receives the SysTopology result.
+	TopoBuf = TLSBase + 64*tlsSlots
+
+	// HandlesBase is the shred handle table used by the POSIX veneer
+	// (pthread_create/pthread_join): HandleCap entries of
+	// [done flag, return value], 16 bytes each.
+	HandlesBase = TopoBuf + 1024
+	HandleCap   = 4096
+
+	// ScratchBase is free for workload use (locks, barriers, results).
+	ScratchBase = HandlesBase + HandleCap*16
+
+	// ArenaUsedEnd bounds the region rt_init prefaults.
+	ArenaUsedEnd = ScratchBase + 0x10000
+)
+
+// Runtime flag bits (rt_init argument).
+const (
+	// FlagYieldOnIdle makes gang schedulers running on OS-visible
+	// sequencers issue a yield system call while the work queue is
+	// empty, emulating the OS interaction of an OpenMP-style runtime
+	// (the source of the SPEComp applications' large OMS syscall counts
+	// in Table 1).
+	FlagYieldOnIdle = 1 << 0
+
+	// FlagProbePages makes rt_init probe every page of the data segment
+	// from the serial region before any shred runs — the §5.3
+	// optimization ("if the OMS probes each page ... the number of
+	// proxy execution events for page faults can be significantly
+	// reduced"). Used by the A2 ablation.
+	FlagProbePages = 1 << 1
+
+	// FlagNoMP confines ShredLib to the main thread's MISP processor:
+	// rt_init does not spawn worker threads for other AMS-bearing
+	// processors. Used by the A4 dynamic-binding ablation, where the
+	// kernel — not the runtime — grows the processor by rebinding AMSs,
+	// and the gang scheduler starts workers on them as they arrive.
+	FlagNoMP = 1 << 2
+)
+
+// ResultAddr is where workloads store their checksum for host-side
+// validation (first scratch word).
+const ResultAddr = ScratchBase

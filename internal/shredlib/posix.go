@@ -1,0 +1,138 @@
+package shredlib
+
+import "misp/internal/isa"
+
+// This file emits the legacy threading API translations of §4.2:
+// "ShredLib provides legacy API translations for the Pthreads and
+// Win32 Threads APIs", plus the Thread Local Storage and
+// setjmp/longjmp-style non-local control transfer that back the
+// paper's TLS and Structured Exception Handling support. A legacy
+// multithreaded program ports to MISP by relinking these symbols — the
+// §5.5 "include one header and recompile" workflow.
+//
+// Emitted symbols:
+//
+//	pthread_create(fn, arg) -> handle   shred with a joinable handle
+//	pthread_join(handle) -> retval      wait for one shred (helps drain)
+//	pthread_mutex_init/lock/unlock      -> rt_mutex_*
+//	pthread_cond_init/wait/broadcast    -> rt_cv_*
+//	sem_post / sem_wait                 -> rt_sem_*
+//	CreateThread / WaitForSingleObject / SetEvent   (Win32 flavor)
+//	rt_tls_get() -> per-context 32-byte TLS block
+//	rt_setjmp(buf) / rt_longjmp(buf, val)  buf is isa.CtxSize bytes
+func (e *emitter) emitPosix() {
+	b := e.b
+
+	// pthread_tramp(fn, arg, handle): run fn(arg), publish the result.
+	b.Label("pthread_tramp")
+	b.Push(lr, r10)
+	b.Mov(r10, r3) // handle
+	b.Mov(r6, r1)  // fn
+	b.Mov(r1, r2)  // arg
+	b.CallR(r6)
+	b.St(r0, r10, 8) // return value
+	b.Fence()
+	b.Li(r6, 1)
+	b.St(r6, r10, 0) // done flag
+	b.Pop(lr, r10)
+	b.Ret()
+
+	// pthread_create(fn, arg) -> r0 = handle address.
+	ok := e.lbl("pcok")
+	b.Label("pthread_create")
+	b.Label("CreateThread") // Win32 alias
+	b.Push(lr, r10)
+	b.Li(r6, RTBase+offHNext)
+	b.Li(r7, 1)
+	b.Aadd(r8, r6, r7)
+	b.Li(r9, HandleCap)
+	b.Blt(r8, r9, ok)
+	b.Brk() // handle table exhausted
+	b.Label(ok)
+	b.Shli(r8, r8, 4)
+	b.Li(r9, HandlesBase)
+	b.Add(r10, r9, r8)
+	b.Li(r9, 0)
+	b.St(r9, r10, 0)
+	b.St(r9, r10, 8)
+	b.Mov(r3, r2) // arg
+	b.Mov(r2, r1) // fn
+	b.La(r1, "pthread_tramp")
+	b.Mov(r4, r10) // handle
+	b.Call("rt_shred_create")
+	b.Mov(r0, r10)
+	b.Pop(lr, r10)
+	b.Ret()
+
+	// pthread_join(handle) -> r0 = the shred's return value. The caller
+	// helps the gang scheduler run queued shreds while it waits (a
+	// joiner that merely spun would deadlock a 1-sequencer machine, and
+	// waiting for EVERYTHING to drain would deadlock a shred joining its
+	// own child — the targeted rt_join_drain loop exits as soon as the
+	// handle's done flag is set).
+	done := e.lbl("pjdone")
+	b.Label("pthread_join")
+	b.Label("WaitForSingleObject") // Win32 alias (thread handles)
+	b.Push(lr, r10)
+	b.Mov(r10, r1)
+	b.Ld(r6, r10, 0)
+	b.Li(r9, 0)
+	b.Bne(r6, r9, done)
+	b.Mov(r1, r10) // done-flag address
+	b.Call("rt_join_drain")
+	b.Label(done)
+	b.Ld(r0, r10, 8)
+	b.Pop(lr, r10)
+	b.Ret()
+
+	// Mutex / condition / semaphore translations (tail jumps).
+	b.Label("pthread_mutex_init")
+	b.Label("pthread_cond_init")
+	b.Li(r9, 0)
+	b.St(r9, r1, 0)
+	b.Ret()
+	b.Label("pthread_mutex_lock")
+	b.Jmp("rt_mutex_lock")
+	b.Label("pthread_mutex_unlock")
+	b.Jmp("rt_mutex_unlock")
+	b.Label("pthread_cond_wait")
+	b.Jmp("rt_cv_wait")
+	b.Label("pthread_cond_broadcast")
+	b.Label("pthread_cond_signal") // wakes all waiters; sufficient for the mapping
+	b.Jmp("rt_cv_broadcast")
+	b.Label("sem_post")
+	b.Jmp("rt_sem_post")
+	b.Label("sem_wait")
+	b.Jmp("rt_sem_wait")
+	b.Label("SetEvent")
+	b.Jmp("rt_event_set")
+	b.Label("WaitForEvent")
+	b.Jmp("rt_event_wait")
+
+	// rt_tls_get() -> r0: this context's 24-byte user TLS block (the
+	// declspec(thread) analog; travels with the shred via the thread
+	// pointer).
+	b.Label("rt_tls_get")
+	b.Gettp(r0)
+	b.Addi(r0, r0, tlsUser)
+	b.Ret()
+
+	// rt_setjmp(buf) -> 0 on the direct path, the longjmp value after a
+	// longjmp. buf must be isa.CtxSize bytes. Implemented directly on
+	// the MISP context-frame instructions.
+	b.Label("rt_setjmp")
+	b.Li(r0, 0)
+	b.Savectx(r1) // continuation = the RET below, with r0 = 0 saved
+	b.Ret()
+
+	// rt_longjmp(buf, val): patch the saved r0 with val (coerced to 1 if
+	// zero, per POSIX) and restore the context.
+	nz := e.lbl("ljnz")
+	b.Label("rt_longjmp")
+	b.Li(r9, 0)
+	b.Bne(r2, r9, nz)
+	b.Li(r2, 1)
+	b.Label(nz)
+	b.St(r2, r1, int32(isa.CtxRegs)) // saved r0 slot
+	b.Ldctx(r1)                      // never returns
+}

@@ -1,0 +1,215 @@
+package shredlib
+
+import (
+	"testing"
+
+	"misp/internal/core"
+	"misp/internal/isa"
+)
+
+// TestPthreadCreateJoin ports the classic pthread pattern: create two
+// workers, join both, combine their return values.
+func TestPthreadCreateJoin(t *testing.T) {
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog(r10, r11)
+	b.La(r1, "worker")
+	b.Li(r2, 30)
+	b.Call("pthread_create")
+	b.Mov(r10, r0)
+	b.La(r1, "worker")
+	b.Li(r2, 12)
+	b.Call("pthread_create")
+	b.Mov(r11, r0)
+	b.Mov(r1, r10)
+	b.Call("pthread_join")
+	b.Mov(r10, r0)
+	b.Mov(r1, r11)
+	b.Call("pthread_join")
+	b.Add(r0, r10, r0)
+	b.Epilog(r10, r11)
+
+	// worker(arg): return arg*arg.
+	b.Label("worker")
+	b.Mul(r0, r1, r1)
+	b.Ret()
+
+	for _, top := range []core.Topology{{0}, {3}} {
+		p, _ := runProg(t, top, b.MustBuild())
+		if p.ExitCode != 30*30+12*12 {
+			t.Fatalf("top %v: result = %d, want %d", top, p.ExitCode, 30*30+12*12)
+		}
+	}
+}
+
+// TestPthreadJoinFromShred joins a child pthread from inside another
+// shred — exercising the nested run_until_drained scheduler save.
+func TestPthreadJoinFromShred(t *testing.T) {
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "outer")
+	b.Li(r2, 5)
+	b.Call("pthread_create")
+	b.Mov(r1, r0)
+	b.Call("pthread_join")
+	b.Epilog()
+
+	// outer(n): spawn inner(n), join it, return inner's result + 1.
+	b.Label("outer")
+	b.Prolog(r10)
+	b.Mov(r2, r1)
+	b.La(r1, "inner")
+	b.Call("pthread_create")
+	b.Mov(r1, r0)
+	b.Call("pthread_join")
+	b.Addi(r0, r0, 1)
+	b.Epilog(r10)
+
+	b.Label("inner")
+	b.Muli(r0, r1, 10)
+	b.Ret()
+
+	p, _ := runProg(t, core.Topology{2}, b.MustBuild())
+	if p.ExitCode != 51 {
+		t.Fatalf("result = %d, want 51", p.ExitCode)
+	}
+}
+
+// TestPthreadMutexAndCond drives the pthread_* sync translations.
+func TestPthreadMutexAndCond(t *testing.T) {
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog(r10, r11)
+	b.La(r1, "mtx")
+	b.Call("pthread_mutex_init")
+	// Two increment workers through the pthread mutex.
+	b.La(r1, "incr")
+	b.Li(r2, 300)
+	b.Call("pthread_create")
+	b.Mov(r10, r0)
+	b.La(r1, "incr")
+	b.Li(r2, 300)
+	b.Call("pthread_create")
+	b.Mov(r11, r0)
+	b.Mov(r1, r10)
+	b.Call("pthread_join")
+	b.Mov(r1, r11)
+	b.Call("pthread_join")
+	b.La(r6, "counter")
+	b.Ld(r0, r6, 0)
+	b.Epilog(r10, r11)
+
+	b.Label("incr")
+	b.Prolog(r10)
+	b.Mov(r10, r1)
+	b.Label("in_loop")
+	b.La(r1, "mtx")
+	b.Call("pthread_mutex_lock")
+	b.La(r6, "counter")
+	b.Ld(r7, r6, 0)
+	b.Addi(r7, r7, 1)
+	b.St(r7, r6, 0)
+	b.La(r1, "mtx")
+	b.Call("pthread_mutex_unlock")
+	b.Addi(r10, r10, -1)
+	b.Li(r9, 0)
+	b.Bne(r10, r9, "in_loop")
+	b.Li(r0, 0)
+	b.Epilog(r10)
+
+	b.DataU64("mtx", 0)
+	b.DataU64("counter", 0)
+	p, _ := runProg(t, core.Topology{3}, b.MustBuild())
+	if p.ExitCode != 600 {
+		t.Fatalf("counter = %d, want 600", p.ExitCode)
+	}
+}
+
+// TestSetjmpLongjmp validates the SAVECTX/LDCTX-based non-local
+// transfer (the mechanism behind ShredLib's structured-exception
+// support).
+func TestSetjmpLongjmp(t *testing.T) {
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog(r10)
+	b.La(r1, "jbuf")
+	b.Call("rt_setjmp")
+	// First pass: r0 = 0 -> call thrower (which longjmps with 7).
+	// Second pass: r0 = 7 -> add the marker from memory and return.
+	b.Li(r9, 0)
+	b.Bne(r0, r9, "after_throw")
+	b.Li(r6, 100)
+	b.La(r7, "marker")
+	b.St(r6, r7, 0)
+	b.Call("thrower")
+	// Unreachable: the longjmp skips this.
+	b.Li(r0, 9999)
+	b.Epilog(r10)
+	b.Label("after_throw")
+	b.La(r7, "marker")
+	b.Ld(r6, r7, 0)
+	b.Add(r0, r0, r6) // 7 + 100
+	b.Epilog(r10)
+
+	b.Label("thrower")
+	b.Prolog()
+	b.La(r1, "jbuf")
+	b.Li(r2, 7)
+	b.Call("rt_longjmp") // never returns
+	b.Epilog()
+
+	b.BSS("jbuf", uint64(isa.CtxSize))
+	b.DataU64("marker", 0)
+	p, _ := runProg(t, core.Topology{1}, b.MustBuild())
+	if p.ExitCode != 107 {
+		t.Fatalf("result = %d, want 107", p.ExitCode)
+	}
+}
+
+// TestTLSGetIsolation: concurrent shreds each store a distinct value in
+// their per-context TLS block and verify it after heavy interleaving.
+func TestTLSGetIsolation(t *testing.T) {
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "tlsbody")
+	b.Li(r2, 1)
+	b.Li(r3, 9) // 8 shreds with distinct tags
+	b.Li(r4, 1)
+	b.Call("rt_parfor")
+	b.La(r6, "bad")
+	b.Ld(r0, r6, 0)
+	b.Epilog()
+
+	// tlsbody(tag, _): tls[0] = tag*1000; spin a while; verify.
+	b.Label("tlsbody")
+	b.Prolog(r10, r11)
+	b.Mov(r10, r1)
+	b.Call("rt_tls_get")
+	b.Mov(r11, r0)
+	b.Muli(r6, r10, 1000)
+	b.St(r6, r11, 0)
+	// Let other shreds run and write their own TLS.
+	b.Li(r7, 500)
+	b.Label("tl_spin")
+	b.Addi(r7, r7, -1)
+	b.Li(r9, 0)
+	b.Bne(r7, r9, "tl_spin")
+	// Verify.
+	b.Call("rt_tls_get")
+	b.Ld(r6, r0, 0)
+	b.Muli(r7, r10, 1000)
+	b.Beq(r6, r7, "tl_ok")
+	b.La(r8, "bad")
+	b.Li(r6, 1)
+	b.Aadd(r7, r8, r6)
+	b.Label("tl_ok")
+	b.Epilog(r10, r11)
+
+	b.DataU64("bad", 0)
+	p, _ := runProg(t, core.Topology{3}, b.MustBuild())
+	if p.ExitCode != 0 {
+		t.Fatalf("%d shreds observed corrupted TLS", p.ExitCode)
+	}
+}

@@ -1,0 +1,35 @@
+package shredlib
+
+import (
+	"misp/internal/asm"
+	"misp/internal/isa"
+)
+
+// NewProgram returns a Builder preloaded with the standard workload
+// preamble and the selected runtime. The workload must define an
+// `app_main` function; its r0 return value becomes the process exit
+// code. The preamble:
+//
+//	main:   rt_init(flags)
+//	        r0 = app_main()
+//	        rt_shutdown()
+//	        exit(r0)
+//
+// Because the workload only references rt_* symbols, the same workload
+// code links against ShredLib (ModeShred) or threadlib (ModeThread)
+// unchanged — the paper's porting story (§5.5).
+func NewProgram(mode Mode, flags int64) *asm.Builder {
+	b := asm.NewBuilder()
+	b.Entry("main")
+	b.Label("main")
+	b.Li(r1, flags)
+	b.Call("rt_init")
+	b.Call("app_main")
+	b.Mov(r11, r0)
+	b.Call("rt_shutdown")
+	b.Mov(r1, r11)
+	b.Li(r0, isa.SysExit)
+	b.Syscall()
+	Emit(b, mode)
+	return b
+}

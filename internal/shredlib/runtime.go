@@ -1,0 +1,977 @@
+package shredlib
+
+import (
+	"fmt"
+
+	"misp/internal/asm"
+	"misp/internal/isa"
+)
+
+// Emit appends the runtime to b. Mode selects ShredLib (MISP gang
+// scheduling) or threadlib (OS threads). The emitted public symbols —
+// the runtime API a workload links against — are:
+//
+//	rt_init(flags)                 initialize; start workers (shreds or threads)
+//	rt_shred_create(fn, a1,a2,a3)  enqueue a new shred running fn(a1,a2,a3)
+//	rt_parfor(fn, lo, hi, grain)   create chunk shreds fn(lo_i, hi_i, 0) and help drain
+//	rt_run_until_drained()         gang-schedule until all created shreds completed
+//	rt_shred_yield()               re-enqueue the current shred and run another
+//	rt_shutdown()                  stop all workers
+//	rt_mutex_lock/unlock(m)        spin mutex
+//	rt_sem_post/wait(s)            counting semaphore
+//	rt_event_set/wait(e)           one-shot event
+//	rt_cv_wait(cv, m) / rt_cv_broadcast(cv)  condition variable
+//	rt_barrier(b, total)           sense-reversing barrier
+//
+// All functions follow the SVM-32 ABI (args r1..r5, result r0, r10–r13
+// callee-saved).
+func Emit(b *asm.Builder, mode Mode) {
+	e := &emitter{b: b, mode: mode}
+	e.emitInit()
+	e.emitAllocTP()
+	e.emitProxyHandler()
+	e.emitStartLocalWorkers()
+	e.emitThreadEntry()
+	e.emitBootstrapAndExit()
+	e.emitSchedResume()
+	e.emitWorkerLoops()
+	e.emitRunUntilDrained()
+	e.emitJoinDrain()
+	e.emitShredCreate()
+	e.emitAllocStack()
+	e.emitShredYield()
+	e.emitParfor()
+	e.emitShutdown()
+	e.emitSync()
+	e.emitPosix()
+}
+
+type emitter struct {
+	b    *asm.Builder
+	mode Mode
+	n    int
+}
+
+// lbl generates a unique local label.
+func (e *emitter) lbl(p string) string {
+	e.n++
+	return fmt.Sprintf("%s$%d", p, e.n)
+}
+
+// Register aliases for readability.
+const (
+	r0  = isa.RRet
+	r1  = isa.RArg0
+	r2  = isa.RArg1
+	r3  = isa.RArg2
+	r4  = isa.RArg3
+	r6  = isa.RTmp0
+	r7  = isa.RTmp1
+	r8  = isa.RTmp2
+	r9  = isa.RTmp3
+	r10 = isa.RSav0
+	r11 = isa.RSav1
+	r12 = isa.RSav2
+	r13 = isa.RSav3
+	lr  = isa.LR
+	sp  = isa.SP
+)
+
+// lock emits a test-and-test-and-set spin acquire of the spinlock at
+// the address in reg: spin on a plain load and attempt the atomic only
+// when the lock looks free, so waiters do not serialize the holder.
+// Clobbers r0, r8, r9 (reg must not be one of those).
+func (e *emitter) lock(reg uint8) {
+	b := e.b
+	top := e.lbl("lk")
+	got := e.lbl("lkok")
+	b.Label(top)
+	b.Ld(r8, reg, 0)
+	b.Li(r9, 0)
+	b.Bne(r8, r9, spinBack(e, top))
+	b.Li(r8, 1)
+	b.Mov(r0, r9)
+	b.Acas(r0, reg, r8)
+	b.Beq(r0, r9, got)
+	b.Pause()
+	b.Jmp(top)
+	b.Label(got)
+}
+
+// spinBack emits an out-of-line pause-and-retry stub targeting top and
+// returns its label.
+func spinBack(e *emitter, top string) string {
+	b := e.b
+	skip := e.lbl("skip")
+	stub := e.lbl("spinb")
+	b.Jmp(skip)
+	b.Label(stub)
+	b.Pause()
+	b.Jmp(top)
+	b.Label(skip)
+	return stub
+}
+
+// unlock releases the spinlock at the address in reg. Clobbers r9.
+func (e *emitter) unlock(reg uint8) {
+	b := e.b
+	b.Li(r9, 0)
+	b.St(r9, reg, 0)
+}
+
+// tlsInto loads this execution context's TLS base into reg. The base
+// lives in the architectural thread pointer, which travels with the
+// context across thread migration between MISP processors — keying TLS
+// by physical sequencer would break the moment the kernel reschedules
+// a shredded thread onto a different processor (§5.4). scratch is
+// unused but kept for call-site symmetry.
+func (e *emitter) tlsInto(reg, scratch uint8) {
+	_ = scratch
+	e.b.Gettp(reg)
+}
+
+// emitAllocTP emits rt_alloc_tp: allocate a fresh TLS slot and install
+// it in the thread pointer. Called once per gang-scheduler context
+// (main thread, worker thread, AMS worker).
+func (e *emitter) emitAllocTP() {
+	b := e.b
+	ok := e.lbl("tpok")
+	b.Label("rt_alloc_tp")
+	b.Li(r6, RTBase+offTLSNext)
+	b.Li(r7, 1)
+	b.Aadd(r8, r6, r7) // r8 = old slot index
+	b.Li(r9, tlsSlots)
+	b.Blt(r8, r9, ok)
+	b.Brk() // out of TLS slots
+	b.Label(ok)
+	b.Shli(r8, r8, 6)
+	b.Li(r9, TLSBase)
+	b.Add(r8, r9, r8)
+	b.Settp(r8)
+	// Fresh slot: clear the recycler and idle-spin counters.
+	b.Li(r9, 0)
+	b.St(r9, r8, tlsFreePend)
+	b.St(r9, r8, tlsIdleSpin)
+	b.Ret()
+}
+
+func (e *emitter) syscall(n int64) {
+	e.b.Li(r0, n)
+	e.b.Syscall()
+}
+
+// --- initialization ----------------------------------------------------
+
+func (e *emitter) emitInit() {
+	b := e.b
+	b.Label("rt_init")
+	b.Prolog(r10, r11, r12, r13)
+
+	// Store flags, prefault the runtime arena.
+	b.Li(r6, RTBase)
+	b.St(r1, r6, offFlags)
+	b.Li(r1, RTBase)
+	b.Li(r2, ArenaUsedEnd-RTBase)
+	e.syscall(isa.SysPrefault)
+
+	// Give this thread its TLS slot (the arena must be resident first).
+	b.Call("rt_alloc_tp")
+
+	// FlagProbePages: probe the whole data segment from the serial
+	// region (§5.3's page-probe optimization).
+	noProbe := e.lbl("noprobe")
+	b.Li(r6, RTBase)
+	b.Ld(r7, r6, offFlags)
+	b.Andi(r7, r7, FlagProbePages)
+	b.Li(r9, 0)
+	b.Beq(r7, r9, noProbe)
+	b.Li(r1, asm.DefaultDataBase)
+	b.Li(r2, -1)
+	e.syscall(isa.SysPrefault)
+	b.Label(noProbe)
+
+	// Read the topology.
+	b.Li(r1, TopoBuf)
+	e.syscall(isa.SysTopology)
+
+	if e.mode == ModeThread {
+		// threadlib: spawn one worker thread per additional processor.
+		loop := e.lbl("tm")
+		done := e.lbl("tmdone")
+		b.Li(r7, TopoBuf)
+		b.Ld(r11, r7, 0) // nproc
+		b.Li(r12, 1)
+		b.Label(loop)
+		b.Bge(r12, r11, done)
+		b.La(r1, "rt_worker_thread_entry")
+		b.Li(r2, 0)
+		b.Li(r3, 0)
+		b.Li(r4, 0)
+		e.syscall(isa.SysThreadCreate)
+		b.Addi(r12, r12, 1)
+		b.Jmp(loop)
+		b.Label(done)
+		b.Epilog(r10, r11, r12, r13)
+		return
+	}
+
+	// ShredLib: find the maximum AMS count across processors.
+	tiLoop := e.lbl("ti")
+	tiSkip := e.lbl("tiskip")
+	tiDone := e.lbl("tidone")
+	ret := e.lbl("initret")
+	b.Li(r7, TopoBuf)
+	b.Ld(r8, r7, 0) // nproc
+	b.Li(r10, 0)    // max AMS
+	b.Li(r9, 0)     // i
+	b.Label(tiLoop)
+	b.Beq(r9, r8, tiDone)
+	b.Shli(r6, r9, 3)
+	b.Add(r6, r7, r6)
+	b.Ld(r6, r6, 8)
+	b.Bge(r10, r6, tiSkip)
+	b.Mov(r10, r6)
+	b.Label(tiSkip)
+	b.Addi(r9, r9, 1)
+	b.Jmp(tiLoop)
+	b.Label(tiDone)
+	b.Li(r9, 0)
+	b.Beq(r10, r9, ret) // no AMS anywhere: run serial
+
+	// Migrate to an AMS-bearing processor (set demand 1, yield until
+	// placed), then raise demand to the full AMS count.
+	mig := e.lbl("mig")
+	landed := e.lbl("landed")
+	b.Li(r1, 1)
+	e.syscall(isa.SysSetAMSDemand)
+	b.Label(mig)
+	b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r10, Imm: 3}) // AMS count here
+	b.Li(r9, 0)
+	b.Bne(r10, r9, landed)
+	e.syscall(isa.SysYield)
+	b.Jmp(mig)
+	b.Label(landed)
+	b.Mov(r1, r10)
+	e.syscall(isa.SysSetAMSDemand)
+
+	// Claim this processor.
+	b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r6, Imm: 2})
+	b.Shli(r6, r6, 3)
+	b.Li(r7, RTBase+offClaimed)
+	b.Add(r7, r7, r6)
+	b.Li(r8, 1)
+	b.St(r8, r7, 0)
+
+	// Register the canonical proxy handler (YIELD-CONDITIONAL, §2.4).
+	b.La(r6, "rt_proxy_handler")
+	b.Setyield(r6, isa.ScenarioProxy)
+
+	// Start gang schedulers on this processor's AMSs (Figure 3).
+	b.Call("rt_start_local_workers")
+
+	// MISP MP: spawn one OS thread per other AMS-bearing processor;
+	// each claims a processor and gang-schedules there, pulling from
+	// the same shared work queue. FlagNoMP (the dynamic-binding
+	// ablation) skips this: the kernel grows this processor instead.
+	mpLoop := e.lbl("mp")
+	mpNext := e.lbl("mpnext")
+	b.Li(r6, RTBase)
+	b.Ld(r7, r6, offFlags)
+	b.Andi(r7, r7, FlagNoMP)
+	b.Li(r9, 0)
+	b.Bne(r7, r9, ret)
+	b.Li(r10, TopoBuf)
+	b.Ld(r11, r10, 0)                                   // nproc
+	b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r12, Imm: 2}) // my proc
+	b.Li(r13, 0)                                        // i
+	b.Label(mpLoop)
+	b.Beq(r13, r11, ret)
+	b.Beq(r13, r12, mpNext)
+	b.Shli(r6, r13, 3)
+	b.Add(r6, r10, r6)
+	b.Ld(r6, r6, 8) // AMS count of proc i
+	b.Li(r9, 0)
+	b.Beq(r6, r9, mpNext)
+	b.La(r1, "rt_thread_entry")
+	b.Li(r2, 0)
+	b.Li(r3, 0)
+	b.Li(r4, 1) // demand 1: the kernel places it on an AMS-bearing proc
+	e.syscall(isa.SysThreadCreate)
+	b.Label(mpNext)
+	b.Addi(r13, r13, 1)
+	b.Jmp(mpLoop)
+
+	b.Label(ret)
+	b.Epilog(r10, r11, r12, r13)
+}
+
+// emitProxyHandler emits the canonical proxy handler: a single
+// PROXYEXEC services every proxy condition (§2.5).
+func (e *emitter) emitProxyHandler() {
+	b := e.b
+	b.Label("rt_proxy_handler")
+	b.Proxyexec(r1)
+	b.Sret()
+}
+
+// emitStartLocalWorkers signals a gang-scheduler shred onto every AMS
+// of the calling thread's processor that does not have one yet (the
+// per-processor started-worker count makes the call idempotent and
+// lets the gang scheduler pick up AMSs that the kernel rebinds here
+// later — dynamic binding, §5.4/§7).
+func (e *emitter) emitStartLocalWorkers() {
+	b := e.b
+	loop := e.lbl("slw")
+	done := e.lbl("slwdone")
+	b.Label("rt_start_local_workers")
+	b.Prolog(r10, r11, r12)
+	b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r10, Imm: 3}) // AMS count
+	// r12 = &started[procid]
+	b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r12, Imm: 2})
+	b.Shli(r12, r12, 3)
+	b.Li(r6, RTBase+offStarted)
+	b.Add(r12, r6, r12)
+	b.Ld(r11, r12, 0)   // workers already started
+	b.Addi(r11, r11, 1) // first SID to start
+	b.Label(loop)
+	b.Blt(r10, r11, done)
+	b.Call("rt_alloc_stack") // r0 = stack base
+	b.Li(r6, asm.StackSize-64)
+	b.Add(r6, r0, r6) // initial SP
+	b.Mov(r7, r11)
+	b.La(r8, "rt_worker_ams_entry")
+	b.Signal(r7, r8, r6)
+	b.St(r11, r12, 0) // started = SID
+	b.Addi(r11, r11, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Epilog(r10, r11, r12)
+}
+
+// emitThreadEntry emits the MISP-MP worker thread body: migrate to an
+// unclaimed AMS-bearing processor, claim it, register the proxy
+// handler, start that processor's AMS gang schedulers, and join the
+// gang itself.
+func (e *emitter) emitThreadEntry() {
+	b := e.b
+	mig := e.lbl("temig")
+	try := e.lbl("tetry")
+	claimed := e.lbl("teclaimed")
+	b.Label("rt_thread_entry")
+	b.Call("rt_alloc_tp")
+	b.Label(mig)
+	b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r6, Imm: 3})
+	b.Li(r9, 0)
+	b.Bne(r6, r9, try)
+	e.syscall(isa.SysYield)
+	b.Jmp(mig)
+	b.Label(try)
+	b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r7, Imm: 2})
+	b.Shli(r7, r7, 3)
+	b.Li(r8, RTBase+offClaimed)
+	b.Add(r8, r8, r7)
+	b.Li(r7, 1)
+	b.Li(r0, 0)
+	b.Acas(r0, r8, r7)
+	b.Li(r9, 0)
+	b.Beq(r0, r9, claimed)
+	e.syscall(isa.SysYield) // another worker holds this processor
+	b.Jmp(mig)
+	b.Label(claimed)
+	b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r1, Imm: 3})
+	e.syscall(isa.SysSetAMSDemand)
+	b.La(r6, "rt_proxy_handler")
+	b.Setyield(r6, isa.ScenarioProxy)
+	b.Call("rt_start_local_workers")
+	b.Jmp("rt_worker_oms_entry")
+}
+
+// emitBootstrapAndExit emits the shred bootstrap (pops fn and args from
+// the fresh shred stack, calls fn) and shred exit (recycle the stack,
+// count completion, return to the gang scheduler).
+func (e *emitter) emitBootstrapAndExit() {
+	b := e.b
+	b.Label("rt_bootstrap")
+	b.Ld(r9, sp, 0)
+	b.Ld(r1, sp, 8)
+	b.Ld(r2, sp, 16)
+	b.Ld(r3, sp, 24)
+	b.Addi(sp, sp, 32)
+	b.CallR(r9)
+	// Fall through into shred exit.
+	b.Label("rt_shred_exit")
+	b.Andi(r6, sp, -int32(asm.StackSize)) // stack base
+	e.tlsInto(r7, r8)
+	b.St(r6, r7, tlsFreePend)
+	b.Li(r8, RTBase+offDone)
+	b.Li(r9, 1)
+	b.Aadd(r6, r8, r9)
+	b.Jmp("rt_sched_resume")
+}
+
+// emitSchedResume emits the return path into whichever gang-scheduler
+// loop this sequencer runs.
+func (e *emitter) emitSchedResume() {
+	b := e.b
+	b.Label("rt_sched_resume")
+	e.tlsInto(r6, r7)
+	b.Ld(sp, r6, tlsSchedSP)
+	b.Ld(r7, r6, tlsLoopTop)
+	b.Jr(r7)
+}
+
+// schedLoopKind parameterizes the three gang-scheduler loop variants.
+type schedLoopKind int
+
+const (
+	loopAMS     schedLoopKind = iota // AMS worker: park on shutdown, never syscall
+	loopOMS                          // extra OS-thread worker: thread_exit on shutdown
+	loopDrained                      // main-thread helper: return when all shreds done
+	loopJoin                         // join helper: return when a specific flag is set
+)
+
+// emitSchedLoop emits one gang-scheduler loop (the heart of Figure 3):
+// recycle any stack pending from the previous shred, contend for the
+// work-queue mutex, pop a shred continuation and switch to it, or
+// handle the empty queue per variant.
+func (e *emitter) emitSchedLoop(top string, kind schedLoopKind, drainedExit string) {
+	b := e.b
+	noRecycle := e.lbl("norec")
+	haveWork := e.lbl("work")
+	empty := e.lbl("empty")
+	spin := e.lbl("spin")
+
+	b.Label(top)
+	// Recycle a pending shred stack.
+	e.tlsInto(r10, r11)
+	b.Ld(r11, r10, tlsFreePend)
+	b.Li(r9, 0)
+	b.Beq(r11, r9, noRecycle)
+	b.St(r9, r10, tlsFreePend)
+	b.Li(r6, RTBase+offSLock)
+	e.lock(r6)
+	b.Li(r7, RTBase)
+	b.Ld(r8, r7, offSFreeTop)
+	b.Li(r12, SFreeBase)
+	b.Shli(r13, r8, 3)
+	b.Add(r12, r12, r13)
+	b.St(r11, r12, 0)
+	b.Addi(r8, r8, 1)
+	b.St(r8, r7, offSFreeTop)
+	e.unlock(r6)
+	b.Label(noRecycle)
+
+	if kind != loopAMS && e.mode == ModeShred {
+		// Dynamic binding (§5.4/§7): if the kernel rebound extra AMSs to
+		// this processor, give them gang schedulers. Checked once per
+		// scheduler iteration (i.e. once per shred executed or idle
+		// spin), which keeps newly arrived sequencers from sitting idle
+		// through a long parallel phase.
+		noNew := e.lbl("nonew")
+		b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r7, Imm: 3}) // AMS count now
+		b.Emit(isa.Instr{Op: isa.OpSeqid, Rd: r8, Imm: 2}) // proc id
+		b.Shli(r8, r8, 3)
+		b.Li(r9, RTBase+offStarted)
+		b.Add(r8, r9, r8)
+		b.Ld(r8, r8, 0)
+		b.Bge(r8, r7, noNew)
+		b.Call("rt_start_local_workers")
+		b.Label(noNew)
+	}
+
+	if kind == loopJoin {
+		// Exit as soon as the awaited done flag (address parked in TLS)
+		// becomes nonzero.
+		e.tlsInto(r10, r11)
+		b.Ld(r11, r10, tlsJoinFlag)
+		b.Ld(r11, r11, 0)
+		b.Li(r9, 0)
+		b.Bne(r11, r9, drainedExit)
+	}
+
+	// Peek at the queue WITHOUT the lock: head and tail are monotonic,
+	// and `created`/`done` guarantee that outstanding work keeps
+	// created > done, so an unlocked empty/drained check can never
+	// conclude "drained" falsely. Idle gang schedulers therefore
+	// generate no lock traffic at all — spinning waiters must not
+	// serialize the scheduler that is trying to enqueue work.
+	tryLock := e.lbl("trylock")
+	b.Li(r6, RTBase)
+	b.Ld(r7, r6, offQHead)
+	b.Ld(r8, r6, offQTail)
+	b.Bne(r7, r8, tryLock)
+	// Apparently empty.
+	if kind == loopDrained {
+		b.Ld(r11, r6, offCreated)
+		b.Ld(r12, r6, offDone)
+		b.Beq(r11, r12, drainedExit)
+	} else if kind == loopJoin {
+		// Nothing to run; the flag check at the loop top decides when to
+		// stop. Fall through to the idle path.
+	} else {
+		done := e.lbl("donef")
+		b.Ld(r12, r6, offDoneFlag)
+		b.Li(r9, 0)
+		b.Bne(r12, r9, done)
+		b.Jmp(empty)
+		b.Label(done)
+		switch kind {
+		case loopAMS:
+			// Park: the shreds' work is finished; spin quietly until the
+			// process exits (an AMS cannot execute a system call directly).
+			park := e.lbl("park")
+			b.Label(park)
+			b.Pause()
+			b.Jmp(park)
+		case loopOMS:
+			b.Li(r1, 0)
+			e.syscall(isa.SysThreadExit)
+		}
+	}
+	b.Label(empty)
+	if kind != loopAMS {
+		// OS-visible sequencers optionally yield to the OS while idle
+		// (FlagYieldOnIdle): the OpenMP-runtime behaviour that produces
+		// the SPEComp rows of Table 1. Spin-then-yield: an unconditional
+		// yield would suspend the AMSs on every iteration.
+		b.Li(r7, RTBase)
+		b.Ld(r8, r7, offFlags)
+		b.Andi(r8, r8, FlagYieldOnIdle)
+		b.Li(r9, 0)
+		b.Beq(r8, r9, spin)
+		e.tlsInto(r11, r12)
+		b.Ld(r8, r11, tlsIdleSpin)
+		b.Addi(r8, r8, 1)
+		b.St(r8, r11, tlsIdleSpin)
+		b.Li(r9, yieldSpinThreshold)
+		b.Blt(r8, r9, spin)
+		b.Li(r9, 0)
+		b.St(r9, r11, tlsIdleSpin)
+		e.syscall(isa.SysYield)
+		b.Jmp(top)
+	}
+	b.Label(spin)
+	b.Pause()
+	b.Jmp(top)
+
+	// Work sighted: take the lock and re-check (another scheduler may
+	// have raced us to it).
+	b.Label(tryLock)
+	e.lock(r6)
+	b.Ld(r7, r6, offQHead)
+	b.Ld(r8, r6, offQTail)
+	b.Bne(r7, r8, haveWork)
+	e.unlock(r6)
+	b.Jmp(top)
+
+	// Pop a continuation and switch to the shred.
+	b.Label(haveWork)
+	b.Li(r9, QCap-1)
+	b.And(r9, r7, r9)
+	b.Shli(r9, r9, 4)
+	b.Li(r11, QueueBase)
+	b.Add(r9, r11, r9)
+	b.Ld(r12, r9, 0) // IP
+	b.Ld(r13, r9, 8) // SP
+	b.Addi(r7, r7, 1)
+	b.St(r7, r6, offQHead)
+	e.unlock(r6)
+	b.Mov(sp, r13)
+	b.Jr(r12)
+}
+
+// emitWorkerLoops emits the AMS and extra-OS-thread gang schedulers.
+func (e *emitter) emitWorkerLoops() {
+	b := e.b
+
+	// AMS worker: entered via SIGNAL with a fresh scheduler stack.
+	b.Label("rt_worker_ams_entry")
+	b.Call("rt_alloc_tp")
+	e.tlsInto(r6, r7)
+	b.St(sp, r6, tlsSchedSP)
+	b.La(r8, "rt_worker_ams_loop")
+	b.St(r8, r6, tlsLoopTop)
+	b.Li(r9, 0)
+	b.St(r9, r6, tlsFreePend)
+	e.emitSchedLoop("rt_worker_ams_loop", loopAMS, "")
+
+	// OS-thread worker. threadlib worker threads enter through
+	// rt_worker_thread_entry (which claims a TLS slot); MISP-MP thread
+	// entries arrive at rt_worker_oms_entry with their slot already set.
+	b.Label("rt_worker_thread_entry")
+	b.Call("rt_alloc_tp")
+	b.Label("rt_worker_oms_entry")
+	e.tlsInto(r6, r7)
+	b.St(sp, r6, tlsSchedSP)
+	b.La(r8, "rt_worker_oms_loop")
+	b.St(r8, r6, tlsLoopTop)
+	b.Li(r9, 0)
+	b.St(r9, r6, tlsFreePend)
+	e.emitSchedLoop("rt_worker_oms_loop", loopOMS, "")
+}
+
+// emitRunUntilDrained emits the main thread's helper loop: participate
+// in gang scheduling until every created shred has completed and the
+// queue is empty, then return.
+func (e *emitter) emitRunUntilDrained() {
+	b := e.b
+	loop := e.lbl("drain")
+	exit := e.lbl("drained")
+	b.Label("rt_run_until_drained")
+	b.Prolog(r10, r11, r12, r13)
+	// Save the enclosing scheduler context: a shred may itself call
+	// rt_parfor / rt_shred_join (nested parallelism), and the gang
+	// scheduler it runs under must get its loop state back afterwards.
+	e.tlsInto(r6, r7)
+	b.Ld(r8, r6, tlsSchedSP)
+	b.Ld(r9, r6, tlsLoopTop)
+	b.Push(r8, r9)
+	b.St(sp, r6, tlsSchedSP)
+	b.La(r8, loop)
+	b.St(r8, r6, tlsLoopTop)
+	e.emitSchedLoop(loop, loopDrained, exit)
+	b.Label(exit)
+	e.tlsInto(r6, r7)
+	b.Pop(r8, r9)
+	b.St(r8, r6, tlsSchedSP)
+	b.St(r9, r6, tlsLoopTop)
+	b.Epilog(r10, r11, r12, r13)
+}
+
+// emitJoinDrain emits rt_join_drain(flagAddr): gang-schedule queued
+// shreds until the done flag at flagAddr becomes nonzero. Unlike
+// rt_run_until_drained this exits on a *specific* completion, so a
+// shred can join its own child without waiting for itself.
+func (e *emitter) emitJoinDrain() {
+	b := e.b
+	loop := e.lbl("jdrain")
+	exit := e.lbl("jdone")
+	b.Label("rt_join_drain")
+	b.Prolog(r10, r11, r12, r13)
+	e.tlsInto(r6, r7)
+	b.Ld(r8, r6, tlsSchedSP)
+	b.Ld(r9, r6, tlsLoopTop)
+	b.Push(r8, r9)
+	b.Ld(r8, r6, tlsJoinFlag)
+	b.Push(r8)
+	b.St(r1, r6, tlsJoinFlag)
+	b.St(sp, r6, tlsSchedSP)
+	b.La(r8, loop)
+	b.St(r8, r6, tlsLoopTop)
+	e.emitSchedLoop(loop, loopJoin, exit)
+	b.Label(exit)
+	e.tlsInto(r6, r7)
+	b.Pop(r8)
+	b.St(r8, r6, tlsJoinFlag)
+	b.Pop(r8, r9)
+	b.St(r8, r6, tlsSchedSP)
+	b.St(r9, r6, tlsLoopTop)
+	b.Epilog(r10, r11, r12, r13)
+}
+
+// emitShredCreate emits Shred_create (Figure 3): allocate a stack,
+// build the bootstrap continuation, and enqueue it.
+func (e *emitter) emitShredCreate() {
+	b := e.b
+	qok := e.lbl("qok")
+	b.Label("rt_shred_create")
+	b.Prolog(r10, r11, r12, r13)
+	b.Mov(r10, r1) // fn
+	b.Mov(r11, r2)
+	b.Mov(r12, r3)
+	b.Mov(r13, r4)
+	b.Call("rt_alloc_stack") // r0 = stack base
+	b.Li(r6, asm.StackSize-64-32)
+	b.Add(r6, r0, r6) // continuation SP, frame below it
+	b.St(r10, r6, 0)
+	b.St(r11, r6, 8)
+	b.St(r12, r6, 16)
+	b.St(r13, r6, 24)
+	// Count the shred before publishing it.
+	b.Li(r7, RTBase+offCreated)
+	b.Li(r8, 1)
+	b.Aadd(r9, r7, r8)
+	// Enqueue (rt_bootstrap, SP).
+	b.Li(r7, RTBase)
+	e.lock(r7)
+	b.Ld(r8, r7, offQTail)
+	b.Ld(r9, r7, offQHead)
+	b.Sub(r9, r8, r9)
+	b.Li(r10, QCap)
+	b.Blt(r9, r10, qok)
+	b.Brk() // queue overflow: fatal
+	b.Label(qok)
+	b.Li(r9, QCap-1)
+	b.And(r9, r8, r9)
+	b.Shli(r9, r9, 4)
+	b.Li(r10, QueueBase)
+	b.Add(r9, r10, r9)
+	b.La(r10, "rt_bootstrap")
+	b.St(r10, r9, 0)
+	b.St(r6, r9, 8)
+	b.Addi(r8, r8, 1)
+	b.St(r8, r7, offQTail)
+	e.unlock(r7)
+	b.Li(r0, 0)
+	b.Epilog(r10, r11, r12, r13)
+}
+
+// emitAllocStack emits the shred stack allocator: pop the freelist or
+// bump-allocate from the stack pool. Returns the stack base in r0.
+func (e *emitter) emitAllocStack() {
+	b := e.b
+	bump := e.lbl("bump")
+	b.Label("rt_alloc_stack")
+	b.Li(r6, RTBase+offSLock)
+	e.lock(r6)
+	b.Li(r7, RTBase)
+	b.Ld(r8, r7, offSFreeTop)
+	b.Li(r9, 0)
+	b.Beq(r8, r9, bump)
+	b.Addi(r8, r8, -1)
+	b.St(r8, r7, offSFreeTop)
+	b.Li(r9, SFreeBase)
+	b.Shli(r8, r8, 3)
+	b.Add(r9, r9, r8)
+	b.Ld(r0, r9, 0)
+	e.unlock(r6)
+	b.Ret()
+	b.Label(bump)
+	b.Ld(r8, r7, offStackNext)
+	b.Addi(r9, r8, 1)
+	b.St(r9, r7, offStackNext)
+	e.unlock(r6)
+	ok := e.lbl("sok")
+	b.Li(r9, 1024) // shred stacks use the lower half of the pool
+	b.Blt(r8, r9, ok)
+	b.Brk() // out of shred stacks: fatal
+	b.Label(ok)
+	b.Shli(r8, r8, 16) // * StackSize (64 KiB)
+	b.Li(r9, asm.StackPoolBase)
+	b.Add(r0, r9, r8)
+	b.Ret()
+}
+
+// emitShredYield emits voluntary yield (§3): push a resume continuation
+// on the shred's own stack, re-enqueue it, and return to the scheduler.
+func (e *emitter) emitShredYield() {
+	b := e.b
+	qok := e.lbl("yqok")
+	b.Label("rt_shred_yield")
+	b.Push(lr, r10, r11, r12, r13)
+	// Enqueue (rt_yield_resume, sp).
+	b.Li(r7, RTBase)
+	e.lock(r7)
+	b.Ld(r8, r7, offQTail)
+	b.Ld(r9, r7, offQHead)
+	b.Sub(r9, r8, r9)
+	b.Li(r6, QCap)
+	b.Blt(r9, r6, qok)
+	b.Brk()
+	b.Label(qok)
+	b.Li(r9, QCap-1)
+	b.And(r9, r8, r9)
+	b.Shli(r9, r9, 4)
+	b.Li(r6, QueueBase)
+	b.Add(r9, r6, r9)
+	b.La(r6, "rt_yield_resume")
+	b.St(r6, r9, 0)
+	b.St(sp, r9, 8)
+	b.Addi(r8, r8, 1)
+	b.St(r8, r7, offQTail)
+	e.unlock(r7)
+	b.Jmp("rt_sched_resume")
+	b.Label("rt_yield_resume")
+	b.Pop(lr, r10, r11, r12, r13)
+	b.Ret()
+}
+
+// emitParfor emits the parallel-for: one shred per grain-sized chunk,
+// then help drain the queue.
+func (e *emitter) emitParfor() {
+	b := e.b
+	loop := e.lbl("pf")
+	done := e.lbl("pfdone")
+	clampOK := e.lbl("pfclamp")
+	b.Label("rt_parfor")
+	b.Prolog(r10, r11, r12, r13)
+	b.Mov(r10, r1) // fn
+	b.Mov(r11, r2) // lo
+	b.Mov(r12, r3) // hi
+	b.Mov(r13, r4) // grain
+	b.Label(loop)
+	b.Bge(r11, r12, done)
+	b.Add(r6, r11, r13)
+	b.Blt(r6, r12, clampOK)
+	b.Mov(r6, r12)
+	b.Label(clampOK)
+	b.Mov(r1, r10)
+	b.Mov(r2, r11)
+	b.Mov(r3, r6)
+	b.Li(r4, 0)
+	b.Mov(r11, r6) // advance before the call clobbers temps
+	b.Call("rt_shred_create")
+	b.Jmp(loop)
+	b.Label(done)
+	b.Call("rt_run_until_drained")
+	b.Epilog(r10, r11, r12, r13)
+}
+
+// emitShutdown emits rt_shutdown: raise the done flag so workers park
+// (AMS) or exit (OS threads).
+func (e *emitter) emitShutdown() {
+	b := e.b
+	b.Label("rt_shutdown")
+	b.Li(r6, RTBase)
+	b.Li(r7, 1)
+	b.St(r7, r6, offDoneFlag)
+	b.Fence()
+	b.Ret()
+}
+
+// emitSync emits the shred synchronization suite of §4.2: mutexes,
+// semaphores, events, condition variables and barriers.
+func (e *emitter) emitSync() {
+	b := e.b
+
+	// rt_mutex_lock(m): spin with PAUSE.
+	b.Label("rt_mutex_lock")
+	e.lock(r1)
+	b.Ret()
+
+	// rt_mutex_unlock(m).
+	b.Label("rt_mutex_unlock")
+	e.unlock(r1)
+	b.Ret()
+
+	// rt_sem_post(s).
+	b.Label("rt_sem_post")
+	b.Li(r8, 1)
+	b.Aadd(r9, r1, r8)
+	b.Ret()
+
+	// rt_sem_wait(s): decrement when positive.
+	{
+		top := e.lbl("sw")
+		got := e.lbl("swok")
+		b.Label("rt_sem_wait")
+		b.Label(top)
+		b.Ld(r8, r1, 0)
+		b.Li(r9, 0)
+		b.Beq(r8, r9, spinRetry(e, top))
+		b.Addi(r9, r8, -1)
+		b.Mov(r0, r8)
+		b.Acas(r0, r1, r9)
+		b.Beq(r0, r8, got)
+		b.Pause()
+		b.Jmp(top)
+		b.Label(got)
+		b.Ret()
+	}
+
+	// rt_event_set(e1).
+	b.Label("rt_event_set")
+	b.Li(r8, 1)
+	b.St(r8, r1, 0)
+	b.Fence()
+	b.Ret()
+
+	// rt_event_wait(e1).
+	{
+		top := e.lbl("ew")
+		b.Label("rt_event_wait")
+		b.Label(top)
+		b.Ld(r8, r1, 0)
+		b.Li(r9, 0)
+		b.Bne(r8, r9, retHere(e))
+		b.Pause()
+		b.Jmp(top)
+	}
+
+	// rt_cv_wait(cv, m): record the sequence number, release the mutex,
+	// wait for a broadcast, reacquire.
+	{
+		top := e.lbl("cv")
+		b.Label("rt_cv_wait")
+		b.Ld(r6, r1, 0) // seq
+		e.unlock(r2)
+		b.Label(top)
+		b.Ld(r8, r1, 0)
+		b.Bne(r8, r6, cvGot(e))
+		b.Pause()
+		b.Jmp(top)
+		// cvGot emitted the reacquire+ret.
+	}
+
+	// rt_cv_broadcast(cv).
+	b.Label("rt_cv_broadcast")
+	b.Li(r8, 1)
+	b.Aadd(r9, r1, r8)
+	b.Fence()
+	b.Ret()
+
+	// rt_barrier(bar, total): sense-reversing. bar: [count, sense].
+	{
+		last := e.lbl("blast")
+		wait := e.lbl("bwait")
+		out := e.lbl("bout")
+		b.Label("rt_barrier")
+		b.Ld(r6, r1, 8) // my sense
+		b.Li(r8, 1)
+		b.Aadd(r7, r1, r8) // old count
+		b.Addi(r7, r7, 1)  // my arrival number
+		b.Beq(r7, r2, last)
+		b.Label(wait)
+		b.Ld(r8, r1, 8)
+		b.Bne(r8, r6, out)
+		b.Pause()
+		b.Jmp(wait)
+		b.Label(last)
+		b.Li(r9, 0)
+		b.St(r9, r1, 0) // reset count
+		b.Xori(r9, r6, 1)
+		b.St(r9, r1, 8) // flip sense
+		b.Fence()
+		b.Label(out)
+		b.Ret()
+	}
+}
+
+// spinRetry emits a pause-and-retry to top, returning the label of the
+// emitted stub so branch targets resolve.
+func spinRetry(e *emitter, top string) string {
+	b := e.b
+	skip := e.lbl("skip")
+	stub := e.lbl("retry")
+	b.Jmp(skip)
+	b.Label(stub)
+	b.Pause()
+	b.Jmp(top)
+	b.Label(skip)
+	return stub
+}
+
+// retHere emits an out-of-line `ret` stub and returns its label.
+func retHere(e *emitter) string {
+	b := e.b
+	skip := e.lbl("skip")
+	stub := e.lbl("ret")
+	b.Jmp(skip)
+	b.Label(stub)
+	b.Ret()
+	b.Label(skip)
+	return stub
+}
+
+// cvGot emits the condition-variable wake path (reacquire mutex, ret).
+func cvGot(e *emitter) string {
+	b := e.b
+	skip := e.lbl("skip")
+	stub := e.lbl("cvgot")
+	b.Jmp(skip)
+	b.Label(stub)
+	e.lock(r2)
+	b.Ret()
+	b.Label(skip)
+	return stub
+}

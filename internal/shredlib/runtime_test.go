@@ -1,0 +1,434 @@
+package shredlib
+
+import (
+	"testing"
+
+	"misp/internal/asm"
+	"misp/internal/core"
+	"misp/internal/kernel"
+)
+
+func runProg(t *testing.T, top core.Topology, prog *asm.Program) (*kernel.Process, *core.Machine) {
+	t.Helper()
+	cfg := core.DefaultConfig(top)
+	cfg.PhysMem = 64 << 20
+	cfg.MaxCycles = 4_000_000_000
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(m)
+	p, err := k.Spawn("test", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	if err := k.Err(); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	return p, m
+}
+
+// sumProgram: parfor over [0, n) adding indices into an atomic cell;
+// app_main returns the total.
+func sumProgram(mode Mode, n, grain int64) *asm.Program {
+	b := NewProgram(mode, 0)
+
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "body")
+	b.Li(r2, 0)
+	b.Li(r3, n)
+	b.Li(r4, grain)
+	b.Call("rt_parfor")
+	b.La(r6, "cell")
+	b.Ld(r0, r6, 0)
+	b.Epilog()
+
+	// body(lo, hi): local sum, then one atomic add.
+	loop := "body_loop"
+	done := "body_done"
+	b.Label("body")
+	b.Li(r6, 0) // sum
+	b.Label(loop)
+	b.Bge(r1, r2, done)
+	b.Add(r6, r6, r1)
+	b.Addi(r1, r1, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.La(r7, "cell")
+	b.Aadd(r8, r7, r6)
+	b.Ret()
+
+	b.DataU64("cell", 0)
+	return b.MustBuild()
+}
+
+func TestParforSumSerial(t *testing.T) {
+	// Topology {0}: no AMS anywhere; ShredLib degrades to serial
+	// self-execution of the queue.
+	p, _ := runProg(t, core.Topology{0}, sumProgram(ModeShred, 1000, 100))
+	if p.ExitCode != 499500 {
+		t.Fatalf("sum = %d, want 499500", p.ExitCode)
+	}
+}
+
+func TestParforSumShredded(t *testing.T) {
+	for _, top := range []core.Topology{{1}, {3}, {7}} {
+		p, m := runProg(t, top, sumProgram(ModeShred, 4000, 100))
+		if p.ExitCode != 7998000 {
+			t.Fatalf("top %v: sum = %d, want 7998000", top, p.ExitCode)
+		}
+		// Every AMS participated.
+		for _, s := range m.Procs[0].AMSs() {
+			if s.C.Instrs == 0 {
+				t.Fatalf("top %v: %s retired nothing", top, s.Name())
+			}
+		}
+	}
+}
+
+func TestParforSumThreaded(t *testing.T) {
+	for _, top := range []core.Topology{{0}, {0, 0}, {0, 0, 0, 0}} {
+		p, _ := runProg(t, top, sumProgram(ModeThread, 4000, 100))
+		if p.ExitCode != 7998000 {
+			t.Fatalf("top %v: sum = %d, want 7998000", top, p.ExitCode)
+		}
+	}
+}
+
+func TestShreddedSpeedup(t *testing.T) {
+	// The same binary must run measurably faster with 7 AMSs than on a
+	// single sequencer.
+	prog := sumProgram(ModeShred, 400000, 5000)
+	p1, m1 := runProg(t, core.Topology{0}, prog)
+	p8, m8 := runProg(t, core.Topology{7}, prog)
+	if p1.ExitCode != p8.ExitCode || p1.ExitCode != 400000*399999/2 {
+		t.Fatalf("results differ or wrong: %d vs %d", p1.ExitCode, p8.ExitCode)
+	}
+	t1 := p1.ExitTime - p1.StartTime
+	t8 := p8.ExitTime - p8.StartTime
+	if t8*3 > t1 {
+		t.Fatalf("speedup too low: 1P=%d cycles, 1x8=%d cycles (%.2fx)",
+			t1, t8, float64(t1)/float64(t8))
+	}
+	_ = m1
+	_ = m8
+}
+
+func TestThreadedSpeedup(t *testing.T) {
+	prog := sumProgram(ModeThread, 400000, 20000)
+	p1, _ := runProg(t, core.Topology{0}, prog)
+	p4, _ := runProg(t, core.Topology{0, 0, 0, 0}, prog)
+	t1 := p1.ExitTime - p1.StartTime
+	t4 := p4.ExitTime - p4.StartTime
+	if t4*2 > t1 {
+		t.Fatalf("SMP speedup too low: 1P=%d, 4P=%d", t1, t4)
+	}
+}
+
+func TestShredlibMISPMultiprocessor(t *testing.T) {
+	// 2x4: two MISP processors; rt_init spawns a second OS thread that
+	// claims the second processor. All 8 sequencers should participate.
+	p, m := runProg(t, core.Topology{3, 3}, sumProgram(ModeShred, 40000, 250))
+	if p.ExitCode != 799980000 {
+		t.Fatalf("sum = %d, want 799980000", p.ExitCode)
+	}
+	for _, proc := range m.Procs {
+		for _, s := range proc.AMSs() {
+			if s.C.Instrs == 0 {
+				t.Fatalf("%s retired nothing — second processor not claimed?", s.Name())
+			}
+		}
+	}
+}
+
+// mutexProgram: parfor where each chunk does locked increments of a
+// plain counter; correct final value proves mutual exclusion.
+func mutexProgram(mode Mode, chunks, perChunk int64) *asm.Program {
+	b := NewProgram(mode, 0)
+
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "body")
+	b.Li(r2, 0)
+	b.Li(r3, chunks)
+	b.Li(r4, 1)
+	b.Call("rt_parfor")
+	b.La(r6, "counter")
+	b.Ld(r0, r6, 0)
+	b.Epilog()
+
+	b.Label("body")
+	b.Prolog(r10, r11)
+	b.Li(r10, perChunk)
+	b.Label("mb_loop")
+	b.La(r1, "lock")
+	b.Call("rt_mutex_lock")
+	b.La(r6, "counter")
+	b.Ld(r7, r6, 0)
+	b.Addi(r7, r7, 1)
+	b.St(r7, r6, 0)
+	b.La(r1, "lock")
+	b.Call("rt_mutex_unlock")
+	b.Addi(r10, r10, -1)
+	b.Li(r9, 0)
+	b.Bne(r10, r9, "mb_loop")
+	b.Epilog(r10, r11)
+
+	b.DataU64("lock", 0)
+	b.DataU64("counter", 0)
+	return b.MustBuild()
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	p, _ := runProg(t, core.Topology{3}, mutexProgram(ModeShred, 8, 500))
+	if p.ExitCode != 4000 {
+		t.Fatalf("counter = %d, want 4000", p.ExitCode)
+	}
+}
+
+func TestMutexThreaded(t *testing.T) {
+	p, _ := runProg(t, core.Topology{0, 0, 0}, mutexProgram(ModeThread, 6, 500))
+	if p.ExitCode != 3000 {
+		t.Fatalf("counter = %d, want 3000", p.ExitCode)
+	}
+}
+
+// barrierProgram: `rounds` barrier phases over `parties` shreds; each
+// shred adds round*party into the cell each round. Any barrier failure
+// skews the deterministic total.
+func barrierProgram(mode Mode, parties, rounds int64) *asm.Program {
+	b := NewProgram(mode, 0)
+
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "body")
+	b.Li(r2, 0)
+	b.Li(r3, parties)
+	b.Li(r4, 1)
+	b.Call("rt_parfor")
+	b.La(r6, "cell")
+	b.Ld(r0, r6, 0)
+	b.Epilog()
+
+	// body(party, _): for round in 0..rounds: cell += round^party via
+	// atomic; barrier.
+	b.Label("body")
+	b.Prolog(r10, r11, r12)
+	b.Mov(r10, r1) // party
+	b.Li(r11, 0)   // round
+	b.Label("bb_loop")
+	b.Bge(r11, 0, "bb_go") // placeholder structure
+	b.Label("bb_go")
+	b.Mul(r6, r10, r11)
+	b.La(r7, "cell")
+	b.Aadd(r8, r7, r6)
+	b.La(r1, "bar")
+	b.Li(r2, int64(parties))
+	b.Call("rt_barrier")
+	b.Addi(r11, r11, 1)
+	b.Li(r9, int64(rounds))
+	b.Blt(r11, r9, "bb_loop")
+	b.Epilog(r10, r11, r12)
+
+	b.DataU64("bar", 0, 0)
+	b.DataU64("cell", 0)
+	return b.MustBuild()
+}
+
+func TestBarrier(t *testing.T) {
+	parties, rounds := int64(4), int64(10)
+	p, _ := runProg(t, core.Topology{3}, barrierProgram(ModeShred, parties, rounds))
+	// sum over r,p of r*p = (sum r)(sum p) = 45 * 6 = 270.
+	if p.ExitCode != 270 {
+		t.Fatalf("cell = %d, want 270", p.ExitCode)
+	}
+}
+
+func TestSemaphoreAndEvent(t *testing.T) {
+	// Producer shred posts 100 semaphore tokens and sets an event;
+	// consumer shreds wait them. Counter of consumed tokens must be 100.
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog()
+	// producer + 3 consumers (each consumes 25 tokens after event).
+	b.La(r1, "producer")
+	b.Li(r2, 0)
+	b.Li(r3, 0)
+	b.Li(r4, 0)
+	b.Call("rt_shred_create")
+	b.La(r1, "consumer")
+	b.Li(r2, 0)
+	b.Li(r3, 4) // four consumer chunks
+	b.Li(r4, 1)
+	b.Call("rt_parfor")
+	b.La(r6, "consumed")
+	b.Ld(r0, r6, 0)
+	b.Epilog()
+
+	b.Label("producer")
+	b.Prolog(r10)
+	b.Li(r10, 100)
+	b.Label("pr_loop")
+	b.La(r1, "sem")
+	b.Call("rt_sem_post")
+	b.Addi(r10, r10, -1)
+	b.Li(r9, 0)
+	b.Bne(r10, r9, "pr_loop")
+	b.La(r1, "ev")
+	b.Call("rt_event_set")
+	b.Epilog(r10)
+
+	b.Label("consumer")
+	b.Prolog(r10)
+	b.La(r1, "ev")
+	b.Call("rt_event_wait")
+	b.Li(r10, 25)
+	b.Label("co_loop")
+	b.La(r1, "sem")
+	b.Call("rt_sem_wait")
+	b.La(r6, "consumed")
+	b.Li(r7, 1)
+	b.Aadd(r8, r6, r7)
+	b.Addi(r10, r10, -1)
+	b.Li(r9, 0)
+	b.Bne(r10, r9, "co_loop")
+	b.Epilog(r10)
+
+	b.DataU64("sem", 0)
+	b.DataU64("ev", 0)
+	b.DataU64("consumed", 0)
+	p, _ := runProg(t, core.Topology{4}, b.MustBuild())
+	if p.ExitCode != 100 {
+		t.Fatalf("consumed = %d, want 100", p.ExitCode)
+	}
+}
+
+func TestShredYield(t *testing.T) {
+	// Two shreds on ONE AMS-less... rather: one AMS; shred A yields in a
+	// loop until shred B (queued behind it) sets a flag — cooperation on
+	// a single sequencer requires working yield.
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "waiter")
+	b.Li(r2, 0)
+	b.Li(r3, 0)
+	b.Li(r4, 0)
+	b.Call("rt_shred_create")
+	b.La(r1, "setter")
+	b.Li(r2, 0)
+	b.Li(r3, 0)
+	b.Li(r4, 0)
+	b.Call("rt_shred_create")
+	b.Call("rt_run_until_drained")
+	b.La(r6, "obs")
+	b.Ld(r0, r6, 0)
+	b.Epilog()
+
+	b.Label("waiter")
+	b.Prolog()
+	b.Label("w_loop")
+	b.La(r6, "flag")
+	b.Ld(r7, r6, 0)
+	b.Li(r9, 0)
+	b.Bne(r7, r9, "w_done")
+	b.Call("rt_shred_yield")
+	b.Jmp("w_loop")
+	b.Label("w_done")
+	b.La(r6, "obs")
+	b.Li(r7, 42)
+	b.St(r7, r6, 0)
+	b.Epilog()
+
+	b.Label("setter")
+	b.La(r6, "flag")
+	b.Li(r7, 1)
+	b.St(r7, r6, 0)
+	b.Ret()
+
+	b.DataU64("flag", 0)
+	b.DataU64("obs", 0)
+	// Topology {0}: OMS alone runs both shreds; yield must interleave.
+	p, _ := runProg(t, core.Topology{0}, b.MustBuild())
+	if p.ExitCode != 42 {
+		t.Fatalf("obs = %d, want 42", p.ExitCode)
+	}
+}
+
+func TestProxyActivityDuringShreddedRun(t *testing.T) {
+	// Shreds touch fresh heap pages: every first touch on an AMS is a
+	// proxy page fault serviced by the OMS.
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "toucher")
+	b.Li(r2, 0)
+	b.Li(r3, 64) // 64 chunks, one page each
+	b.Li(r4, 1)
+	b.Call("rt_parfor")
+	b.Li(r0, 0)
+	b.Epilog()
+
+	// toucher(lo, hi): write to heap page lo.
+	b.Label("toucher")
+	b.Li(r6, asm.HeapBase)
+	b.Shli(r7, r1, 12)
+	b.Add(r6, r6, r7)
+	b.Li(r8, 1)
+	b.St(r8, r6, 0)
+	b.Ret()
+
+	p, m := runProg(t, core.Topology{3}, b.MustBuild())
+	if p.ExitCode != 0 {
+		t.Fatalf("exit = %d", p.ExitCode)
+	}
+	var proxyPF uint64
+	for _, s := range m.Procs[0].AMSs() {
+		proxyPF += s.C.ProxyPageFaults
+	}
+	if proxyPF == 0 {
+		t.Fatal("no proxy page faults despite fresh heap touches on AMSs")
+	}
+}
+
+func TestYieldOnIdleFlagGeneratesSyscalls(t *testing.T) {
+	progQuiet := sumProgram(ModeShred, 4000, 100)
+	b := NewProgram(ModeShred, FlagYieldOnIdle)
+	// Same body as sumProgram but with the flag; rebuild inline.
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "body")
+	b.Li(r2, 0)
+	b.Li(r3, 4000)
+	b.Li(r4, 100)
+	b.Call("rt_parfor")
+	b.Li(r0, 0)
+	b.Epilog()
+	b.Label("body")
+	b.Ret()
+	progYield := b.MustBuild()
+
+	_, mQ := runProg(t, core.Topology{3}, progQuiet)
+	_, mY := runProg(t, core.Topology{3}, progYield)
+	if mY.Procs[0].OMS().C.Syscalls <= mQ.Procs[0].OMS().C.Syscalls/4 {
+		// The yielding runtime should show no fewer syscalls; the quiet
+		// one performs only init/exit calls.
+		t.Logf("quiet=%d yield=%d", mQ.Procs[0].OMS().C.Syscalls, mY.Procs[0].OMS().C.Syscalls)
+	}
+	if mY.Procs[0].OMS().C.Syscalls < 3 {
+		t.Fatalf("yield-on-idle produced too few syscalls: %d", mY.Procs[0].OMS().C.Syscalls)
+	}
+}
+
+func TestRuntimeDeterminism(t *testing.T) {
+	prog := sumProgram(ModeShred, 4000, 100)
+	p1, m1 := runProg(t, core.Topology{3}, prog)
+	p2, m2 := runProg(t, core.Topology{3}, prog)
+	if p1.ExitTime != p2.ExitTime || m1.Steps != m2.Steps {
+		t.Fatalf("nondeterministic: exit %d/%d steps %d/%d", p1.ExitTime, p2.ExitTime, m1.Steps, m2.Steps)
+	}
+}

@@ -1,0 +1,175 @@
+package shredlib
+
+import (
+	"testing"
+
+	"misp/internal/core"
+)
+
+// TestCondVar exercises rt_cv_wait / rt_cv_broadcast: a waiter shred
+// blocks on a condition until a setter shred changes the predicate and
+// broadcasts.
+func TestCondVar(t *testing.T) {
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "waiter")
+	b.Li(r2, 0)
+	b.Li(r3, 0)
+	b.Li(r4, 0)
+	b.Call("rt_shred_create")
+	b.La(r1, "setter")
+	b.Li(r2, 0)
+	b.Li(r3, 0)
+	b.Li(r4, 0)
+	b.Call("rt_shred_create")
+	b.Call("rt_run_until_drained")
+	b.La(r6, "obs")
+	b.Ld(r0, r6, 0)
+	b.Epilog()
+
+	// waiter: lock m; while pred == 0: cv_wait(cv, m); obs = pred * 7; unlock.
+	b.Label("waiter")
+	b.Prolog()
+	b.La(r1, "mtx")
+	b.Call("rt_mutex_lock")
+	b.Label("cw_check")
+	b.La(r6, "pred")
+	b.Ld(r7, r6, 0)
+	b.Li(r9, 0)
+	b.Bne(r7, r9, "cw_ready")
+	b.La(r1, "cv")
+	b.La(r2, "mtx")
+	b.Call("rt_cv_wait")
+	b.Jmp("cw_check")
+	b.Label("cw_ready")
+	b.Muli(r7, r7, 7)
+	b.La(r6, "obs")
+	b.St(r7, r6, 0)
+	b.La(r1, "mtx")
+	b.Call("rt_mutex_unlock")
+	b.Epilog()
+
+	// setter: lock m; pred = 6; unlock; broadcast.
+	b.Label("setter")
+	b.Prolog()
+	b.La(r1, "mtx")
+	b.Call("rt_mutex_lock")
+	b.La(r6, "pred")
+	b.Li(r7, 6)
+	b.St(r7, r6, 0)
+	b.La(r1, "mtx")
+	b.Call("rt_mutex_unlock")
+	b.La(r1, "cv")
+	b.Call("rt_cv_broadcast")
+	b.Epilog()
+
+	b.DataU64("mtx", 0)
+	b.DataU64("cv", 0)
+	b.DataU64("pred", 0)
+	b.DataU64("obs", 0)
+
+	// Two AMSs so waiter and setter can truly run concurrently.
+	p, _ := runProg(t, core.Topology{2}, b.MustBuild())
+	if p.ExitCode != 42 {
+		t.Fatalf("obs = %d, want 42", p.ExitCode)
+	}
+}
+
+// TestSyncPrimitivesThreadMode reruns the semaphore/event workload on
+// threadlib over SMP: the same binary semantics must hold when workers
+// are OS threads.
+func TestSyncPrimitivesThreadMode(t *testing.T) {
+	b := NewProgram(ModeThread, 0)
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "producer")
+	b.Li(r2, 0)
+	b.Li(r3, 0)
+	b.Li(r4, 0)
+	b.Call("rt_shred_create")
+	b.La(r1, "consumer")
+	b.Li(r2, 0)
+	b.Li(r3, 2)
+	b.Li(r4, 1)
+	b.Call("rt_parfor")
+	b.La(r6, "consumed")
+	b.Ld(r0, r6, 0)
+	b.Epilog()
+
+	b.Label("producer")
+	b.Prolog(r10)
+	b.Li(r10, 40)
+	b.Label("pr_loop")
+	b.La(r1, "sem")
+	b.Call("rt_sem_post")
+	b.Addi(r10, r10, -1)
+	b.Li(r9, 0)
+	b.Bne(r10, r9, "pr_loop")
+	b.Epilog(r10)
+
+	b.Label("consumer")
+	b.Prolog(r10)
+	b.Li(r10, 20)
+	b.Label("co_loop")
+	b.La(r1, "sem")
+	b.Call("rt_sem_wait")
+	b.La(r6, "consumed")
+	b.Li(r7, 1)
+	b.Aadd(r8, r6, r7)
+	b.Addi(r10, r10, -1)
+	b.Li(r9, 0)
+	b.Bne(r10, r9, "co_loop")
+	b.Epilog(r10)
+
+	b.DataU64("sem", 0)
+	b.DataU64("consumed", 0)
+	p, _ := runProg(t, core.Topology{0, 0, 0}, b.MustBuild())
+	if p.ExitCode != 40 {
+		t.Fatalf("consumed = %d, want 40", p.ExitCode)
+	}
+}
+
+// TestBarrierThreadMode validates the sense-reversing barrier under the
+// OS-thread runtime.
+func TestBarrierThreadMode(t *testing.T) {
+	parties, rounds := int64(3), int64(8)
+	p, _ := runProg(t, core.Topology{0, 0, 0, 0}, barrierProgram(ModeThread, parties, rounds))
+	// sum over r in 0..8, p in 0..3 of r*p = 28 * 3 = 84.
+	if p.ExitCode != 84 {
+		t.Fatalf("cell = %d, want 84", p.ExitCode)
+	}
+}
+
+// TestManyShredsStackRecycling creates far more shreds than stacks can
+// exist simultaneously; the freelist must recycle.
+func TestManyShredsStackRecycling(t *testing.T) {
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog(r10)
+	b.Li(r10, 40) // 40 waves of 64 shreds = 2560 shreds >> 1024 stack cap
+	b.Label("wave")
+	b.La(r1, "tick")
+	b.Li(r2, 0)
+	b.Li(r3, 64)
+	b.Li(r4, 1)
+	b.Call("rt_parfor")
+	b.Addi(r10, r10, -1)
+	b.Li(r9, 0)
+	b.Bne(r10, r9, "wave")
+	b.La(r6, "count")
+	b.Ld(r0, r6, 0)
+	b.Epilog(r10)
+
+	b.Label("tick")
+	b.La(r6, "count")
+	b.Li(r7, 1)
+	b.Aadd(r8, r6, r7)
+	b.Ret()
+
+	b.DataU64("count", 0)
+	p, _ := runProg(t, core.Topology{3}, b.MustBuild())
+	if p.ExitCode != 40*64 {
+		t.Fatalf("count = %d, want %d (stack recycling broken?)", p.ExitCode, 40*64)
+	}
+}

@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"misp/internal/core"
+	"misp/internal/kernel"
+	"misp/internal/shredlib"
+)
+
+// RunResult captures one workload execution.
+type RunResult struct {
+	Checksum float64
+	ExitCode uint64
+	Cycles   uint64 // process start-to-exit simulated cycles
+	Machine  *core.Machine
+	Kernel   *kernel.Kernel
+	Proc     *kernel.Process
+}
+
+// Run executes workload w in the given runtime mode on a machine built
+// from cfg.
+func Run(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size) (*RunResult, error) {
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(m)
+	prog := w.Build(mode, sz)
+	p, err := k.Spawn(w.Name, prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("workloads: %s (%s, %v): %w", w.Name, mode, cfg.Topology, err)
+	}
+	if err := k.Err(); err != nil {
+		return nil, fmt.Errorf("workloads: %s (%s, %v): %w", w.Name, mode, cfg.Topology, err)
+	}
+	bits, err := p.Space.ReadU64(shredlib.ResultAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Checksum: math.Float64frombits(bits),
+		ExitCode: p.ExitCode,
+		Cycles:   p.ExitTime - p.StartTime,
+		Machine:  m,
+		Kernel:   k,
+		Proc:     p,
+	}, nil
+}
+
+// DefaultConfig builds the standard experiment configuration for a
+// topology: the paper's 5000-cycle signal estimate and enough physical
+// memory for the reference inputs.
+func DefaultConfig(top core.Topology) core.Config {
+	cfg := core.DefaultConfig(top)
+	cfg.PhysMem = 128 << 20
+	cfg.MaxCycles = 60_000_000_000
+	return cfg
+}

@@ -1,0 +1,150 @@
+// Package workloads implements the paper's evaluation programs: the
+// eleven RMS kernels (§5.2: ADAt, dense_mmm, dense_mvm, dense_mvm_sym,
+// gauss, kmeans, sparse_mvm, sparse_mvm_sym, sparse_mvm_trans, svm_c,
+// RayTracer) and behaviour-equivalent analogs of the five SPEComp
+// applications (swim, applu, galgel, equake, art), plus the
+// single-threaded `spin` load generator used by the Figure 7
+// multiprogramming experiment.
+//
+// Every workload is generated as SVM-32 assembly against the rt_*
+// runtime API, so the identical workload code links against ShredLib
+// (MISP shreds) or threadlib (OS threads) — see internal/shredlib.
+// Each workload stores a float64 checksum at shredlib.ResultAddr and
+// returns its truncation as the process exit code; a Go reference
+// implementation (mirroring loop structure and arithmetic order)
+// validates results.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"misp/internal/asm"
+	"misp/internal/shredlib"
+)
+
+// Size selects a problem-size preset.
+type Size int
+
+const (
+	// SizeTest keeps unit tests fast (sub-second runs).
+	SizeTest Size = iota
+	// SizeSmall is the default experiment size.
+	SizeSmall
+	// SizeRef is the benchmark-harness size (longer runs, clearer
+	// parallel sections).
+	SizeRef
+)
+
+func (s Size) String() string {
+	switch s {
+	case SizeTest:
+		return "test"
+	case SizeSmall:
+		return "small"
+	default:
+		return "ref"
+	}
+}
+
+// Workload is one evaluation program.
+type Workload struct {
+	Name  string
+	Suite string // "RMS" or "SPEComp"
+	// Flags are runtime flags passed to rt_init (the SPEComp analogs
+	// set shredlib.FlagYieldOnIdle to model the OpenMP runtime's OS
+	// interaction).
+	Flags int64
+	// Build generates the program for the given runtime mode and size.
+	Build func(mode shredlib.Mode, sz Size) *asm.Program
+	// Ref computes the reference checksum with a mirrored Go
+	// implementation.
+	Ref func(sz Size) float64
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) *Workload {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+	return w
+}
+
+// ByName returns a registered workload.
+func ByName(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// All returns every workload, RMS suite first, in the paper's Figure 4
+// order.
+func All() []*Workload {
+	order := map[string]int{
+		"ADAt": 0, "dense_mmm": 1, "dense_mvm": 2, "dense_mvm_sym": 3,
+		"gauss": 4, "kmeans": 5, "sparse_mvm": 6, "sparse_mvm_sym": 7,
+		"sparse_mvm_trans": 8, "svm_c": 9, "raytracer": 10,
+		"swim": 11, "applu": 12, "galgel": 13, "equake": 14, "art": 15,
+		"spin": 16,
+	}
+	var ws []*Workload
+	for _, w := range registry {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		oi, iok := order[ws[i].Name]
+		oj, jok := order[ws[j].Name]
+		if iok && jok {
+			return oi < oj
+		}
+		if iok != jok {
+			return iok
+		}
+		return ws[i].Name < ws[j].Name
+	})
+	return ws
+}
+
+// Evaluated returns the 16 workloads of Figure 4 (everything except the
+// spin load generator).
+func Evaluated() []*Workload {
+	var ws []*Workload
+	for _, w := range All() {
+		if w.Name != "spin" {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// --- deterministic pseudo-random input data ---------------------------
+
+// LCG constants (Knuth MMIX), mirrored in the assembly emitters.
+const (
+	lcgMul = 6364136223846793005
+	lcgAdd = 1442695040888963407
+)
+
+// lcg is the Go-side twin of the emitted generator.
+type lcg struct{ x uint64 }
+
+func (g *lcg) next() uint64 {
+	g.x = g.x*lcgMul + lcgAdd
+	return g.x
+}
+
+// f64 returns the next value in [0, 1).
+func (g *lcg) f64() float64 {
+	return float64(g.next()>>11) * (1.0 / (1 << 53))
+}
+
+// sqrtImpl and infF are tiny indirections so kernel files can share
+// math helpers without repeating imports.
+func sqrtImpl(x float64) float64 { return math.Sqrt(x) }
+
+func infF() float64 { return math.Inf(1) }
