@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build vet test race smoke verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# smoke runs misptrace end-to-end on the built-in demo and checks that
+# all three artifacts come out non-empty and the trace parses as JSON.
+smoke:
+	$(GO) run ./cmd/misptrace -o /tmp/misptrace-smoke
+	test -s /tmp/misptrace-smoke/trace.json
+	test -s /tmp/misptrace-smoke/profile.txt
+	test -s /tmp/misptrace-smoke/metrics.txt
+	$(GO) run ./cmd/misptrace -validate /tmp/misptrace-smoke/trace.json
+
+verify: build vet race smoke
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -30,6 +30,7 @@ import (
 	"misp/internal/core"
 	"misp/internal/exp"
 	"misp/internal/kernel"
+	"misp/internal/obs"
 	"misp/internal/shredlib"
 	"misp/internal/workloads"
 )
@@ -333,6 +334,41 @@ loop:
 		if err := k.Err(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMicroObsDisabled guards the observability hot path: with the
+// event log disabled (the default configuration), Emit must cost one
+// branch and never allocate, so tracing support does not tax untraced
+// simulations. The benchmark fails outright if the path allocates.
+func BenchmarkMicroObsDisabled(b *testing.B) {
+	bus := obs.NewBus(false, 0, obs.DropNewest)
+	e := obs.Event{TS: 1, Seq: 0, Kind: obs.KYield}
+	if n := testing.AllocsPerRun(1000, func() { bus.Emit(e) }); n != 0 {
+		b.Fatalf("disabled Emit allocates %.1f times per op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Emit(e)
+	}
+}
+
+// BenchmarkMicroObsMetrics guards the always-on metrics path: a
+// pre-resolved counter increment and a histogram observation must be a
+// few arithmetic ops with zero allocation.
+func BenchmarkMicroObsMetrics(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("bench.counter")
+	h := reg.Histogram("bench.hist")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); h.Observe(5000) }); n != 0 {
+		b.Fatalf("metrics hot path allocates %.1f times per op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(uint64(i))
 	}
 }
 

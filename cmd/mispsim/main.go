@@ -18,6 +18,8 @@ import (
 
 	"misp/internal/asm"
 	"misp/internal/core"
+	"misp/internal/obs"
+	"misp/internal/report"
 	"misp/internal/shredlib"
 	"misp/internal/workloads"
 )
@@ -30,6 +32,8 @@ func main() {
 	sizeName := flag.String("size", "small", "problem size: test, small, ref")
 	trace := flag.Bool("trace", false, "print the fine-grained firmware event trace")
 	traceMax := flag.Int("tracemax", 200, "maximum trace events to print")
+	traceOut := flag.String("traceout", "", "write the event log as Chrome trace JSON to this file (implies -trace recording)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry dump")
 	runFile := flag.String("run", "", "assemble and run an .svm file under BareOS instead of a workload")
 	signal := flag.Uint64("signal", 5000, "inter-sequencer signal cost in cycles")
 	policy := flag.String("ringpolicy", "suspend-all", "ring policy: suspend-all or monitor-cr")
@@ -48,7 +52,7 @@ func main() {
 	}
 	cfg := workloads.DefaultConfig(top)
 	cfg.SignalCost = *signal
-	cfg.TraceEvents = *trace
+	cfg.TraceEvents = *trace || *traceOut != ""
 	switch *policy {
 	case "suspend-all":
 		cfg.RingPolicy = core.RingSuspendAll
@@ -79,6 +83,7 @@ func main() {
 		if *trace {
 			printTrace(m, *traceMax)
 		}
+		finish(m, *traceOut, *metrics)
 		return
 	}
 
@@ -118,6 +123,39 @@ func main() {
 	if *trace {
 		printTrace(res.Machine, *traceMax)
 	}
+	finish(res.Machine, *traceOut, *metrics)
+}
+
+// finish emits the optional observability outputs and, when tracing was
+// on, the end-of-run summary that surfaces event-log loss.
+func finish(m *core.Machine, traceOut string, metrics bool) {
+	if metrics {
+		fmt.Println("\nmetrics registry:")
+		fmt.Print(m.Obs.Metrics.String())
+	}
+	rep := m.Report()
+	if rep.TraceEnabled {
+		fmt.Println()
+		fmt.Print(report.RunSummary(rep))
+	}
+	if traceOut != "" {
+		tracks := make([]obs.Track, 0, len(m.Seqs))
+		for _, s := range m.Seqs {
+			tracks = append(tracks, obs.Track{Seq: s.ID, Proc: s.ProcID, Name: s.Name()})
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, m.Obs.Bus.Events(), tracks); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (load in ui.perfetto.dev)\n", traceOut)
+	}
 }
 
 func printStats(m *core.Machine) {
@@ -133,7 +171,7 @@ func printStats(m *core.Machine) {
 
 func printTrace(m *core.Machine, max int) {
 	fmt.Println("\nfirmware event trace:")
-	ev := m.Trace.Events
+	ev := m.Trace.Events()
 	if len(ev) > max {
 		fmt.Printf("  (showing first %d of %d events)\n", max, len(ev))
 		ev = ev[:max]

@@ -109,10 +109,19 @@ type Config struct {
 	RingPolicy RingPolicy
 
 	// TraceEvents enables the fine-grained time-stamped event log
-	// (the prototype firmware's logging facility, §4.1).
+	// (the prototype firmware's logging facility, §4.1), kept by the
+	// obs subsystem's event bus.
 	TraceEvents bool
 	// MaxTraceEvents caps the log size.
 	MaxTraceEvents int
+	// TraceEvictOldest selects ring-buffer semantics for the event log:
+	// when the cap is reached the oldest events are evicted so the tail
+	// of the run is never silently lost. The default (false) keeps the
+	// head and counts the tail as dropped.
+	TraceEvictOldest bool
+	// ProfilePC enables the per-PC cycle profile (the obs hot-spot
+	// report: exact simulated-cycle attribution per program counter).
+	ProfilePC bool
 	// MaxCycles aborts a run that exceeds this global time (a deadlock
 	// guard for tests); 0 means no limit.
 	MaxCycles uint64

@@ -30,21 +30,27 @@ func (m *Machine) kernelTrap(s *Sequencer, trap isa.Trap, info uint64) {
 		// accounted to the AMS's proxy counters, not the OMS's own
 		// serializing-event columns (Table 1 separates the two).
 		s.C.ProxiedServices++
+		m.mx.omsProxied.Inc()
 	case trap == isa.TrapSyscall:
 		s.C.Syscalls++
+		m.mx.omsSyscalls.Inc()
 	case trap == isa.TrapPageFault:
 		s.C.PageFaults++
+		m.mx.omsPageFaults.Inc()
 	case trap == isa.TrapTimer:
 		s.C.Timers++
+		m.mx.omsTimers.Inc()
 	case trap == isa.TrapInterrupt:
 		s.C.Interrupts++
+		m.mx.omsInterrupts.Inc()
 	default:
 		// Fatal conditions (GP, divide by zero, bad instruction, break)
 		// also serialize; bucket them with interrupts.
 		s.C.Interrupts++
+		m.mx.omsInterrupts.Inc()
 	}
 	proc := m.Proc(s)
-	m.Trace.add(s.Clock, s.ID, EvRingEnter, uint64(trap), info)
+	m.emit(s.Clock, s.ID, EvRingEnter, uint64(trap), info)
 	t0 := s.Clock
 	s.Clock += m.Cfg.TrapCost
 	proc.inRing0 = true
@@ -56,9 +62,13 @@ func (m *Machine) kernelTrap(s *Sequencer, trap isa.Trap, info uint64) {
 	m.os.HandleTrap(s, trap, info)
 	s.Ring = isa.Ring3
 	s.Clock += m.Cfg.TrapCost
+	// The episode's full cost on the OMS — both ring crossings plus the
+	// kernel service time the OS charged — is the `priv` term of
+	// Equation 1; attribute it to the privileged-cycle account.
+	m.mx.privCycles.Add(s.Clock - t0)
 	m.resumeAMSs(proc)
 	proc.inRing0 = false
-	m.Trace.add(s.Clock, s.ID, EvRingExit, uint64(trap), 0)
+	m.emit(s.Clock, s.ID, EvRingExit, uint64(trap), 0)
 }
 
 // suspendAMSs parks every running AMS of proc. Each AMS observes the
@@ -76,7 +86,7 @@ func (m *Machine) suspendAMSs(proc *Processor, t0 uint64) {
 		}
 		a.State = StateSuspendRing
 		a.stallStart = a.Clock
-		m.Trace.add(a.Clock, a.ID, EvSuspendAMS, 0, 0)
+		m.emit(a.Clock, a.ID, EvSuspendAMS, 0, 0)
 	}
 }
 
@@ -95,12 +105,13 @@ func (m *Machine) resumeAMSs(proc *Processor) {
 			a.Clock = due
 		}
 		a.C.RingStall += a.Clock - a.stallStart
+		m.mx.ringStall.Observe(a.Clock - a.stallStart)
 		a.CRs = oms.CRs
 		if proc.crWritten {
 			a.flushTranslation()
 		}
 		a.State = StateRunning
-		m.Trace.add(a.Clock, a.ID, EvResumeAMS, 0, 0)
+		m.emit(a.Clock, a.ID, EvResumeAMS, 0, 0)
 	}
 }
 
@@ -125,11 +136,13 @@ func (m *Machine) proxyRequest(ams *Sequencer, f *fault) {
 	switch f.trap {
 	case isa.TrapSyscall:
 		ams.C.ProxySyscalls++
+		m.mx.amsProxySyscalls.Inc()
 	default:
 		// Page faults and fatal conditions. (Fatal conditions still ride
 		// the proxy path: the OMS re-executes and the kernel kills the
 		// process — the AMS is architecturally unable to reach ring 0.)
 		ams.C.ProxyPageFaults++
+		m.mx.amsProxyPageFaults.Inc()
 	}
 	frameVA := FrameVA(ams.ID)
 	ams.Clock += uint64(isa.Lookup(isa.OpSavectx).Cost) + m.Cfg.CtxMemCost
@@ -148,7 +161,7 @@ func (m *Machine) proxyRequest(ams *Sequencer, f *fault) {
 		AMS:     ams,
 		FrameVA: frameVA,
 	})
-	m.Trace.add(ams.Clock, ams.ID, EvProxyRequest, uint64(f.trap), f.info)
+	m.emit(ams.Clock, ams.ID, EvProxyRequest, uint64(f.trap), f.info)
 }
 
 // proxyExec implements the PROXYEXEC instruction on the OMS (§2.5):
@@ -230,9 +243,13 @@ func (m *Machine) proxyExec(oms *Sequencer, frameVA uint64) *fault {
 		return nil
 	}
 	ams.C.ProxyStall += ams.Clock - ams.stallStart
+	// The full §2.5 round trip as the AMS experiences it: fault, signal
+	// to the OMS, handler delivery, re-execution, resume signal, frame
+	// reload (the sum of Equations 2–3 plus service time).
+	m.mx.proxyRTT.Observe(ams.Clock - ams.stallStart)
 	ams.State = StateRunning
 	ams.proxyFrame = 0
-	m.Trace.add(oms.Clock, oms.ID, EvProxyDone, uint64(ams.ID), frameVA)
+	m.emit(oms.Clock, oms.ID, EvProxyDone, uint64(ams.ID), frameVA)
 	return nil
 }
 
@@ -250,9 +267,9 @@ func (m *Machine) doSignal(s *Sequencer, in isa.Instr) *fault {
 		return &fault{trap: isa.TrapGP, info: sid}
 	}
 	ip, sp := s.Regs[in.Rs1], s.Regs[in.Rs2]
-	target.queueSignal(s.Clock+m.Cfg.SignalCost, ip, sp)
+	target.queueSignal(s.Clock, s.Clock+m.Cfg.SignalCost, ip, sp)
 	s.C.SignalsSent++
-	m.Trace.add(s.Clock, s.ID, EvSignalSend, sid, ip)
+	m.emit(s.Clock, s.ID, EvSignalSend, sid, ip)
 	return nil
 }
 
@@ -398,7 +415,7 @@ func (m *Machine) RebindAMS(a *Sequencer, toProc int) error {
 		a.C.IdleCycles += target.OMS().Clock - a.Clock
 		a.Clock = target.OMS().Clock
 	}
-	m.Trace.add(a.Clock, a.ID, EvRebind, uint64(donor.ID), uint64(toProc))
+	m.emit(a.Clock, a.ID, EvRebind, uint64(donor.ID), uint64(toProc))
 	return nil
 }
 

@@ -7,9 +7,21 @@ import (
 )
 
 // exec executes one instruction on s, dispatching any resulting trap to
-// the kernel (OMS) or the proxy machinery (AMS).
+// the kernel (OMS) or the proxy machinery (AMS). With profiling on, the
+// clock delta of the instruction — opcode cost plus TLB walks, context
+// spills, and (for PROXYEXEC) the whole re-execution — is attributed to
+// the instruction's PC.
 func (m *Machine) exec(s *Sequencer) {
-	if f := m.execOne(s); f != nil {
+	if m.prof == nil {
+		if f := m.execOne(s); f != nil {
+			m.dispatchFault(s, f)
+		}
+		return
+	}
+	pc, c0 := s.PC, s.Clock
+	f := m.execOne(s)
+	m.prof.Add(pc, s.Clock-c0)
+	if f != nil {
 		m.dispatchFault(s, f)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"misp/internal/asm"
 	"misp/internal/isa"
 	"misp/internal/mem"
+	"misp/internal/obs"
 )
 
 // ProxyReq is an in-flight proxy-execution request from an AMS to its
@@ -68,14 +69,55 @@ type Machine struct {
 	Procs []*Processor
 	Seqs  []*Sequencer // flattened, OMS-first per processor
 
+	// Obs is the observability subsystem: the event bus the firmware
+	// emits into, the metrics registry, and the optional PC profile.
+	Obs *obs.Observer
+	// Trace is the backwards-compatible read adapter over Obs.Bus.
 	Trace *Trace
 
 	os      OS
 	stopErr error
 	halted  bool // a ring-0 HALT was executed
 
+	// mx holds pre-resolved metric handles so hot paths pay a plain
+	// increment, never a registry lookup.
+	mx machMetrics
+	// prof mirrors Obs.Prof (nil when profiling is off) for the
+	// interpreter's hot path.
+	prof *obs.Profile
+
 	// GlobalStats
 	Steps uint64 // total instructions executed
+}
+
+// machMetrics are the machine's pre-resolved registry handles.
+type machMetrics struct {
+	omsSyscalls, omsPageFaults, omsTimers, omsInterrupts *obs.Counter
+	omsProxied                                           *obs.Counter
+	amsProxySyscalls, amsProxyPageFaults                 *obs.Counter
+	privCycles                                           *obs.Counter
+	signalLatency, proxyRTT, ringStall                   *obs.Histogram
+}
+
+func newMachMetrics(r *obs.Registry) machMetrics {
+	return machMetrics{
+		omsSyscalls:         r.Counter(obs.MOMSSyscalls),
+		omsPageFaults:       r.Counter(obs.MOMSPageFaults),
+		omsTimers:           r.Counter(obs.MOMSTimers),
+		omsInterrupts:       r.Counter(obs.MOMSInterrupts),
+		omsProxied:          r.Counter(obs.MOMSProxied),
+		amsProxySyscalls:    r.Counter(obs.MAMSProxySyscalls),
+		amsProxyPageFaults:  r.Counter(obs.MAMSProxyPageFaults),
+		privCycles:          r.Counter(obs.MCyclesPriv),
+		signalLatency:       r.Histogram(obs.MSignalLatency),
+		proxyRTT:            r.Histogram(obs.MProxyRTT),
+		ringStall:           r.Histogram(obs.MRingStall),
+	}
+}
+
+// emit records one firmware event on the obs bus.
+func (m *Machine) emit(ts uint64, seq int, k EventKind, a, b uint64) {
+	m.Obs.Bus.Emit(obs.Event{TS: ts, Seq: int32(seq), Kind: k, A: a, B: b})
 }
 
 // New builds a machine from a validated configuration.
@@ -87,7 +129,18 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{Cfg: cfg, Phys: phys, Trace: newTrace(cfg.TraceEvents, cfg.MaxTraceEvents)}
+	mode := obs.DropNewest
+	if cfg.TraceEvictOldest {
+		mode = obs.EvictOldest
+	}
+	o := obs.New(obs.Options{
+		Events:    cfg.TraceEvents,
+		EventCap:  cfg.MaxTraceEvents,
+		Mode:      mode,
+		ProfilePC: cfg.ProfilePC,
+	})
+	m := &Machine{Cfg: cfg, Phys: phys, Obs: o, Trace: &Trace{bus: o.Bus}, prof: o.Prof}
+	m.mx = newMachMetrics(o.Metrics)
 	gid := 0
 	for pid, nAMS := range cfg.Topology {
 		proc := &Processor{ID: pid}
@@ -140,6 +193,7 @@ func (m *Machine) Run() error {
 	if m.os == nil {
 		return fmt.Errorf("core: Run without an OS attached")
 	}
+	defer m.FinalizeMetrics()
 	for m.stopErr == nil && !m.halted && !m.os.Done() {
 		s := m.pickNext()
 		if s == nil {
@@ -151,6 +205,63 @@ func (m *Machine) Run() error {
 		m.step(s)
 	}
 	return m.stopErr
+}
+
+// FinalizeMetrics publishes the end-of-run cycle attribution to the
+// metrics registry: total sequencer cycles split into privileged
+// (ring-0 episodes, accumulated live), ring-transition stall, proxy
+// stall, idle, and the user remainder. Idempotent; Run calls it on
+// every exit path.
+func (m *Machine) FinalizeMetrics() {
+	var total, idle, ringStall, proxyStall, instrs uint64
+	for _, s := range m.Seqs {
+		total += s.Clock
+		idle += s.C.IdleCycles
+		ringStall += s.C.RingStall
+		proxyStall += s.C.ProxyStall
+		instrs += s.C.Instrs
+	}
+	reg := m.Obs.Metrics
+	priv := m.mx.privCycles.Value()
+	user := total
+	for _, part := range []uint64{priv, idle, ringStall, proxyStall} {
+		if part > user {
+			user = 0
+			break
+		}
+		user -= part
+	}
+	reg.Counter(obs.MCyclesTotal).Set(total)
+	reg.Counter(obs.MCyclesIdle).Set(idle)
+	reg.Counter(obs.MCyclesRingStall).Set(ringStall)
+	reg.Counter(obs.MCyclesProxyStall).Set(proxyStall)
+	reg.Counter(obs.MCyclesUser).Set(user)
+	reg.Counter(obs.MInstrs).Set(instrs)
+}
+
+// RunReport summarizes a finished run for end-of-run reporting,
+// including the event-log loss accounting that used to be visible only
+// in Trace.String().
+type RunReport struct {
+	Cycles uint64 // machine wall time (max sequencer clock)
+	Instrs uint64 // total instructions retired
+
+	TraceEnabled bool
+	TraceEvents  int    // events retained in the buffer
+	TraceDropped uint64 // events emitted but not retained
+	TraceEvicted uint64 // subset of dropped that were oldest-evicted (ring mode)
+}
+
+// Report builds the end-of-run summary.
+func (m *Machine) Report() RunReport {
+	return RunReport{
+		Cycles:       m.MaxClock(),
+		Instrs:       m.Steps,
+		TraceEnabled: m.Obs.Bus.Enabled(),
+		TraceEvents:  m.Obs.Bus.Len(),
+		TraceDropped: m.Obs.Bus.Dropped(),
+		TraceEvicted: m.Obs.Bus.Evicted(),
+	}
 }
 
 // nextEventTime returns the next time s can make progress, or ok=false
@@ -235,7 +346,7 @@ func (m *Machine) wakeIdle(s *Sequencer) {
 	// shred continuation starts immediately.
 	if p, i := s.nextPending(); i >= 0 && p.TS <= s.Clock {
 		s.dropPending(i)
-		m.startContinuation(s, p.IP, p.SP)
+		m.startContinuation(s, p)
 		return
 	}
 	if s.IsOMS && s.TimerDeadline != 0 && s.Clock >= s.TimerDeadline {
@@ -248,23 +359,26 @@ func (m *Machine) wakeIdle(s *Sequencer) {
 	}
 }
 
-// startContinuation begins executing a shred continuation (IP, SP)
-// delivered by SIGNAL to an idle sequencer (§2.4). The sequencer adopts
-// the OMS's ring-0 control state — all sequencers of a MISP processor
-// share one virtual address space (§2.3) — and is tagged with the
-// thread occupying the OMS for kernel bookkeeping.
-func (m *Machine) startContinuation(s *Sequencer, ip, sp uint64) {
+// startContinuation begins executing a shred continuation delivered by
+// SIGNAL to an idle sequencer (§2.4). The sequencer adopts the OMS's
+// ring-0 control state — all sequencers of a MISP processor share one
+// virtual address space (§2.3) — and is tagged with the thread
+// occupying the OMS for kernel bookkeeping.
+func (m *Machine) startContinuation(s *Sequencer, p PendingSignal) {
 	oms := m.Proc(s).OMS()
 	if !s.IsOMS {
 		s.CRs = oms.CRs
 		s.flushTranslation()
 		s.CurTID = oms.CurTID
 	}
-	s.PC = ip
-	s.Regs[isa.SP] = sp
+	s.PC = p.IP
+	s.Regs[isa.SP] = p.SP
 	s.State = StateRunning
 	s.C.SignalsReceived++
-	m.Trace.add(s.Clock, s.ID, EvSignalStart, ip, sp)
+	if p.SentTS != 0 && s.Clock >= p.SentTS {
+		m.mx.signalLatency.Observe(s.Clock - p.SentTS)
+	}
+	m.emit(s.Clock, s.ID, EvSignalStart, p.IP, p.SP)
 }
 
 // deliverSignalRunning delivers a pending ingress signal to a running
@@ -278,6 +392,9 @@ func (m *Machine) deliverSignalRunning(s *Sequencer) bool {
 		return false
 	}
 	s.dropPending(i)
+	if p.SentTS != 0 && s.Clock >= p.SentTS {
+		m.mx.signalLatency.Observe(s.Clock - p.SentTS)
+	}
 	m.yieldTo(s, isa.ScenarioSignal, p.IP, p.SP)
 	return true
 }
@@ -300,7 +417,7 @@ func (m *Machine) deliverProxy(s *Sequencer) bool {
 	}
 	req := proc.PendingProxy[best]
 	proc.PendingProxy = append(proc.PendingProxy[:best], proc.PendingProxy[best+1:]...)
-	m.Trace.add(s.Clock, s.ID, EvProxyDeliver, uint64(req.AMS.ID), req.FrameVA)
+	m.emit(s.Clock, s.ID, EvProxyDeliver, uint64(req.AMS.ID), req.FrameVA)
 	m.yieldTo(s, isa.ScenarioProxy, req.FrameVA, 0)
 	return true
 }
@@ -317,7 +434,7 @@ func (m *Machine) yieldTo(s *Sequencer, sc isa.Scenario, a1, a2 uint64) {
 	s.PC = s.Yield[sc]
 	s.Clock += m.Cfg.YieldCost
 	s.C.YieldsTaken++
-	m.Trace.add(s.Clock, s.ID, EvYield, uint64(sc), a1)
+	m.emit(s.Clock, s.ID, EvYield, uint64(sc), a1)
 }
 
 // sret returns from a yield handler to the interrupted shred.
@@ -329,7 +446,7 @@ func (m *Machine) sret(s *Sequencer) {
 	s.RestoreCtx(s.YieldSave)
 	s.InHandler = false
 	s.Clock += m.Cfg.YieldCost
-	m.Trace.add(s.Clock, s.ID, EvSret, 0, 0)
+	m.emit(s.Clock, s.ID, EvSret, 0, 0)
 }
 
 // StepOnce advances the machine by a single event (test hook).

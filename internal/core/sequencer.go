@@ -39,9 +39,12 @@ func (s SeqState) String() string {
 }
 
 // PendingSignal is an in-flight inter-sequencer signal: a shred
-// continuation (IP, SP) that becomes visible at time TS.
+// continuation (IP, SP) that becomes visible at time TS. SentTS records
+// the sender's clock at the SIGNAL instruction, so the obs subsystem
+// can attribute the full send-to-start latency (§2.4).
 type PendingSignal struct {
 	TS     uint64
+	SentTS uint64
 	IP, SP uint64
 }
 
@@ -181,9 +184,10 @@ func (s *Sequencer) flushTranslation() {
 	s.fetchVPN = 0
 }
 
-// queueSignal enqueues an ingress continuation visible at ts.
-func (s *Sequencer) queueSignal(ts, ip, sp uint64) {
-	s.pending = append(s.pending, PendingSignal{TS: ts, IP: ip, SP: sp})
+// queueSignal enqueues an ingress continuation sent at sent, visible at
+// ts.
+func (s *Sequencer) queueSignal(sent, ts, ip, sp uint64) {
+	s.pending = append(s.pending, PendingSignal{TS: ts, SentTS: sent, IP: ip, SP: sp})
 }
 
 // nextPending returns the earliest pending signal and its index, or

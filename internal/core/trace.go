@@ -3,99 +3,69 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"misp/internal/obs"
 )
+
+// The fine-grained firmware event log now lives in the obs subsystem
+// (internal/obs): the machine emits typed events onto Machine.Obs.Bus,
+// and the metrics registry carries the coarse counters. The aliases and
+// the Trace adapter below keep the original core API working.
 
 // EventKind classifies fine-grained firmware events (§4.1: the
 // prototype's time-stamped event log).
-type EventKind uint8
+type EventKind = obs.Kind
 
 const (
-	EvRingEnter EventKind = iota
-	EvRingExit
-	EvSuspendAMS
-	EvResumeAMS
-	EvSignalSend
-	EvSignalStart
-	EvProxyRequest
-	EvProxyDeliver
-	EvProxyDone
-	EvYield
-	EvSret
-	EvCtxSwitch
-	EvProcExit
-	EvKernel
-	EvRebind
-	numEventKinds
+	EvRingEnter    = obs.KRingEnter
+	EvRingExit     = obs.KRingExit
+	EvSuspendAMS   = obs.KSuspendAMS
+	EvResumeAMS    = obs.KResumeAMS
+	EvSignalSend   = obs.KSignalSend
+	EvSignalStart  = obs.KSignalStart
+	EvProxyRequest = obs.KProxyRequest
+	EvProxyDeliver = obs.KProxyDeliver
+	EvProxyDone    = obs.KProxyDone
+	EvYield        = obs.KYield
+	EvSret         = obs.KSret
+	EvCtxSwitch    = obs.KCtxSwitch
+	EvProcExit     = obs.KProcExit
+	EvKernel       = obs.KKernel
+	EvRebind       = obs.KRebind
 )
 
-var eventNames = [numEventKinds]string{
-	"ring-enter", "ring-exit", "suspend-ams", "resume-ams",
-	"signal-send", "signal-start", "proxy-request", "proxy-deliver",
-	"proxy-done", "yield", "sret", "ctx-switch", "proc-exit", "kernel",
-	"rebind-ams",
-}
-
-func (k EventKind) String() string {
-	if int(k) < len(eventNames) {
-		return eventNames[k]
-	}
-	return "event?"
-}
-
 // Event is one fine-grained log record.
-type Event struct {
-	TS   uint64
-	Seq  int
-	Kind EventKind
-	A, B uint64
-}
+type Event = obs.Event
 
-// Trace is the firmware event log: coarse counters live on the
-// sequencers; this is the optional fine-grained, time-stamped record.
+// Trace is a thin, backwards-compatible view of the firmware event log:
+// a read adapter over the machine's obs event bus.
 type Trace struct {
-	Enabled bool
-	Events  []Event
-	Dropped uint64
-	max     int
+	bus *obs.Bus
 }
 
-func newTrace(enabled bool, max int) *Trace {
-	if max <= 0 {
-		max = 1 << 16
-	}
-	return &Trace{Enabled: enabled, max: max}
-}
+// Enabled reports whether event logging is on.
+func (t *Trace) Enabled() bool { return t.bus.Enabled() }
 
-func (t *Trace) add(ts uint64, seq int, kind EventKind, a, b uint64) {
-	if !t.Enabled {
-		return
-	}
-	if len(t.Events) >= t.max {
-		t.Dropped++
-		return
-	}
-	t.Events = append(t.Events, Event{TS: ts, Seq: seq, Kind: kind, A: a, B: b})
-}
+// Events returns the buffered events in chronological order.
+func (t *Trace) Events() []Event { return t.bus.Events() }
+
+// Dropped returns how many emitted events are not in the buffer (tail
+// drops in bounded mode, head evictions in ring mode).
+func (t *Trace) Dropped() uint64 { return t.bus.Dropped() }
+
+// CountKind returns how many events of kind k were emitted. The count
+// is maintained at emission (O(1)), and is exact even when the buffer
+// dropped events.
+func (t *Trace) CountKind(k EventKind) int { return int(t.bus.KindCount(k)) }
 
 // String renders the log for debugging.
 func (t *Trace) String() string {
 	var b strings.Builder
-	for _, e := range t.Events {
+	for _, e := range t.bus.Events() {
 		fmt.Fprintf(&b, "%12d seq%-2d %-14s a=0x%x b=0x%x\n", e.TS, e.Seq, e.Kind, e.A, e.B)
 	}
-	if t.Dropped > 0 {
-		fmt.Fprintf(&b, "(%d events dropped)\n", t.Dropped)
+	if d := t.bus.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(%d events dropped, mode %s)\n", d, t.bus.Mode())
 	}
 	return b.String()
-}
-
-// CountKind returns how many logged events have the given kind.
-func (t *Trace) CountKind(k EventKind) int {
-	n := 0
-	for _, e := range t.Events {
-		if e.Kind == k {
-			n++
-		}
-	}
-	return n
 }

@@ -5,6 +5,7 @@ import (
 
 	"misp/internal/core"
 	"misp/internal/kernel"
+	"misp/internal/obs"
 	"misp/internal/report"
 	"misp/internal/shredlib"
 	"misp/internal/workloads"
@@ -106,7 +107,7 @@ func dynamicRun(w *workloads.Workload, opt Options, top core.Topology, loads int
 	if err := checkRun(w, &res, "A4", opt.Size); err != nil {
 		return 0, 0, err
 	}
-	return app.ExitTime - app.StartTime, k.Stats.Rebinds, nil
+	return app.ExitTime - app.StartTime, m.Obs.Metrics.CounterValue(obs.MKRebinds), nil
 }
 
 // DynamicTable renders A4.

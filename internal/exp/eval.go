@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"misp/internal/core"
+	"misp/internal/obs"
 	"misp/internal/overhead"
 	"misp/internal/report"
 	"misp/internal/shredlib"
@@ -68,8 +69,16 @@ type AppResult struct {
 	// MISP-run event accounting.
 	Events overhead.Events
 	OMS    core.SeqCounters
-	AMSSys uint64
-	AMSPF  uint64
+
+	// Table-1 serializing-event counts, sourced from the MISP run's obs
+	// metrics registry (machine-global; the MISP configuration has a
+	// single processor, so these equal the per-sequencer counters).
+	OMSSys    uint64
+	OMSPF     uint64
+	OMSTimers uint64
+	OMSIntr   uint64
+	AMSSys    uint64
+	AMSPF     uint64
 
 	Checksum float64
 }
@@ -128,10 +137,13 @@ func Evaluate(opt Options) ([]*AppResult, error) {
 		r.CyclesMISP = rm.Cycles
 		r.Events = overhead.Collect(rm.Machine)
 		r.OMS = rm.Machine.Procs[0].OMS().C
-		for _, a := range rm.Machine.Procs[0].AMSs() {
-			r.AMSSys += a.C.ProxySyscalls
-			r.AMSPF += a.C.ProxyPageFaults
-		}
+		reg := rm.Machine.Obs.Metrics
+		r.OMSSys = reg.CounterValue(obs.MOMSSyscalls)
+		r.OMSPF = reg.CounterValue(obs.MOMSPageFaults)
+		r.OMSTimers = reg.CounterValue(obs.MOMSTimers)
+		r.OMSIntr = reg.CounterValue(obs.MOMSInterrupts)
+		r.AMSSys = reg.CounterValue(obs.MAMSProxySyscalls)
+		r.AMSPF = reg.CounterValue(obs.MAMSProxyPageFaults)
 
 		rs, err := workloads.Run(w, shredlib.ModeThread, opt.Config(smpTop), opt.Size)
 		if err != nil {
@@ -169,8 +181,8 @@ func Table1(results []*AppResult) *report.Table {
 			"OMS Interrupt", "AMS SysCall", "AMS PF"},
 	}
 	for _, r := range results {
-		t.Add(r.Name, r.Suite, r.OMS.Syscalls, r.OMS.PageFaults, r.OMS.Timers,
-			r.OMS.Interrupts, r.AMSSys, r.AMSPF)
+		t.Add(r.Name, r.Suite, r.OMSSys, r.OMSPF, r.OMSTimers,
+			r.OMSIntr, r.AMSSys, r.AMSPF)
 	}
 	return t
 }

@@ -47,6 +47,14 @@ func TestEvaluateSubset(t *testing.T) {
 		if r.Events.OMS == 0 {
 			t.Errorf("%s: no OMS serializing events recorded", r.Name)
 		}
+		// Table-1 values now come from the obs metrics registry; they
+		// must agree exactly with the per-sequencer firmware counters.
+		if r.OMSSys != r.OMS.Syscalls || r.OMSPF != r.OMS.PageFaults ||
+			r.OMSTimers != r.OMS.Timers || r.OMSIntr != r.OMS.Interrupts {
+			t.Errorf("%s: registry OMS counters (%d/%d/%d/%d) disagree with seq counters (%d/%d/%d/%d)",
+				r.Name, r.OMSSys, r.OMSPF, r.OMSTimers, r.OMSIntr,
+				r.OMS.Syscalls, r.OMS.PageFaults, r.OMS.Timers, r.OMS.Interrupts)
+		}
 	}
 	// swim (SPEComp analog) must show more OMS syscalls than dense_mmm
 	// (its runtime yields on idle).

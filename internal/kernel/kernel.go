@@ -20,6 +20,7 @@ import (
 	"misp/internal/core"
 	"misp/internal/isa"
 	"misp/internal/mem"
+	"misp/internal/obs"
 )
 
 // ThreadState is the scheduler state of a kernel thread.
@@ -113,7 +114,17 @@ type Kernel struct {
 
 	Stats Stats
 
+	// mx holds pre-resolved handles into the machine's obs metrics
+	// registry, mirroring Stats so downstream consumers (cmd/misptrace,
+	// internal/exp) read scheduler activity from one place.
+	mx kernMetrics
+
 	fatal error
+}
+
+// kernMetrics are the kernel's pre-resolved registry handles.
+type kernMetrics struct {
+	ticks, syscalls, pageFaults, ipis, switches, rebinds *obs.Counter
 }
 
 // New creates a kernel, attaches it to m, and arms every OMS timer.
@@ -127,6 +138,15 @@ func New(m *core.Machine) *Kernel {
 	}
 	for _, p := range m.Procs {
 		p.OMS().TimerDeadline = m.Cfg.TimerInterval
+	}
+	reg := m.Obs.Metrics
+	k.mx = kernMetrics{
+		ticks:      reg.Counter(obs.MKTicks),
+		syscalls:   reg.Counter(obs.MKSyscalls),
+		pageFaults: reg.Counter(obs.MKPageFaults),
+		ipis:       reg.Counter(obs.MKIPIs),
+		switches:   reg.Counter(obs.MKSwitches),
+		rebinds:    reg.Counter(obs.MKRebinds),
 	}
 	m.SetOS(k)
 	return k
@@ -229,15 +249,19 @@ func (k *Kernel) HandleTrap(s *core.Sequencer, trap isa.Trap, info uint64) {
 	switch trap {
 	case isa.TrapSyscall:
 		k.Stats.Syscalls++
+		k.mx.syscalls.Inc()
 		k.syscall(s)
 	case isa.TrapPageFault:
 		k.Stats.PageFaults++
+		k.mx.pageFaults.Inc()
 		k.pageFault(s, info)
 	case isa.TrapTimer:
 		k.Stats.Ticks++
+		k.mx.ticks.Inc()
 		k.timerTick(s, true)
 	case isa.TrapInterrupt:
 		k.Stats.IPIs++
+		k.mx.ipis.Inc()
 		k.timerTick(s, false)
 	default:
 		k.fatalTrap(s, trap, info)

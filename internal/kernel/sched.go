@@ -3,6 +3,7 @@ package kernel
 import (
 	"misp/internal/core"
 	"misp/internal/isa"
+	"misp/internal/obs"
 )
 
 // This file implements the scheduler: a global FIFO ready queue with
@@ -125,6 +126,7 @@ func (k *Kernel) timerTick(s *core.Sequencer, tick bool) {
 	case !k.eligible(t, proc):
 		// The thread's AMS demand outgrew this processor: migrate it.
 		k.Stats.Switches++
+		k.mx.switches.Inc()
 		k.saveCurrent(s, t)
 		k.enqueue(t)
 		k.kickIdle(t)
@@ -137,6 +139,7 @@ func (k *Kernel) timerTick(s *core.Sequencer, tick bool) {
 	case t.QuantumLeft <= 0:
 		if n := k.dequeueFor(proc); n != nil {
 			k.Stats.Switches++
+			k.mx.switches.Inc()
 			k.saveCurrent(s, t)
 			k.enqueue(t)
 			k.switchTo(s, n)
@@ -183,7 +186,9 @@ func (k *Kernel) saveCurrent(s *core.Sequencer, t *Thread) {
 // switchTo installs thread t on OMS s and charges the context switch.
 func (k *Kernel) switchTo(s *core.Sequencer, t *Thread) {
 	k.Stats.Switches++
+	k.mx.switches.Inc()
 	s.Clock += k.M.Cfg.CtxSwitchCost
+	k.M.Obs.Emit(s.Clock, s.ID, obs.KCtxSwitch, uint64(t.TID), uint64(t.Proc.PID))
 	proc := k.M.Proc(s)
 
 	t.State = ThreadRunning
@@ -280,6 +285,7 @@ func (k *Kernel) retireProcess(p *Process, code uint64) {
 	p.Exited = true
 	p.ExitCode = code
 	p.ExitTime = k.M.MaxClock()
+	k.M.Obs.Emit(p.ExitTime, 0, obs.KProcExit, uint64(p.PID), code)
 	k.live--
 }
 
@@ -380,6 +386,7 @@ func (k *Kernel) tryAccreteAMS(s *core.Sequencer) {
 		// Inter-processor coordination cost.
 		s.Clock += k.M.Cfg.SignalCost
 		k.Stats.Rebinds++
+		k.mx.rebinds.Inc() // RebindAMS already emitted EvRebind on the bus
 		return
 	}
 }

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file exports the event log in the Chrome trace-event JSON
+// format, loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Each sequencer gets its own named track (pid = MISP processor,
+// tid = machine-global sequencer ID); one simulated cycle is rendered
+// as one microsecond. Ring-0 episodes, AMS ring-transition stalls,
+// proxy waits and yield-handler activations become duration spans;
+// signals, context switches and the remaining firmware events become
+// instants with their payloads attached as args.
+
+// Track names one sequencer's trace track.
+type Track struct {
+	Seq  int    // machine-global sequencer ID (tid)
+	Proc int    // owning MISP processor (pid)
+	Name string // e.g. "p0.oms", "p1.ams2"
+}
+
+// traceEvent is one Chrome trace-event record. Fields are marshaled in
+// declaration order, so output is deterministic.
+type traceEvent struct {
+	Name  string     `json:"name"`
+	Phase string     `json:"ph"`
+	TS    uint64     `json:"ts"`
+	PID   int        `json:"pid"`
+	TID   int        `json:"tid"`
+	Scope string     `json:"s,omitempty"`
+	Args  *traceArgs `json:"args,omitempty"`
+}
+
+type traceArgs struct {
+	Name string `json:"name,omitempty"`
+	Sort *int   `json:"sort_index,omitempty"`
+	Kind string `json:"kind,omitempty"`
+	A    uint64 `json:"a"`
+	B    uint64 `json:"b"`
+}
+
+// WriteChromeTrace writes events as Chrome trace-event JSON. tracks
+// must cover every sequencer ID appearing in events; events must be
+// per-sequencer monotonic (which the machine guarantees).
+func WriteChromeTrace(w io.Writer, events []Event, tracks []Track) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+
+	byseq := make(map[int]Track, len(tracks))
+	first := true
+	put := func(te traceEvent) error {
+		if first {
+			first = false
+		} else {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		// Encoder appends a newline; trim it by encoding to the writer
+		// and relying on the comma prefix instead.
+		return enc.Encode(te)
+	}
+
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	// Metadata: name processes and threads, keep sequencer order.
+	seenProc := map[int]bool{}
+	for _, t := range tracks {
+		byseq[t.Seq] = t
+		if !seenProc[t.Proc] {
+			seenProc[t.Proc] = true
+			if err := put(traceEvent{
+				Name: "process_name", Phase: "M", PID: t.Proc, TID: t.Seq,
+				Args: &traceArgs{Name: fmt.Sprintf("misp p%d", t.Proc)},
+			}); err != nil {
+				return err
+			}
+		}
+		sort := t.Seq
+		if err := put(traceEvent{
+			Name: "thread_name", Phase: "M", PID: t.Proc, TID: t.Seq,
+			Args: &traceArgs{Name: t.Name},
+		}); err != nil {
+			return err
+		}
+		if err := put(traceEvent{
+			Name: "thread_sort_index", Phase: "M", PID: t.Proc, TID: t.Seq,
+			Args: &traceArgs{Sort: &sort},
+		}); err != nil {
+			return err
+		}
+	}
+
+	span := func(e Event, phase, name string, withArgs bool) traceEvent {
+		t := byseq[int(e.Seq)]
+		te := traceEvent{Name: name, Phase: phase, TS: e.TS, PID: t.Proc, TID: int(e.Seq)}
+		if withArgs {
+			te.Args = &traceArgs{Kind: e.Kind.String(), A: e.A, B: e.B}
+		}
+		return te
+	}
+
+	for _, e := range events {
+		var te traceEvent
+		switch e.Kind {
+		case KRingEnter:
+			te = span(e, "B", "ring0", true)
+		case KRingExit:
+			te = span(e, "E", "ring0", false)
+		case KSuspendAMS:
+			te = span(e, "B", "ring-stall", false)
+		case KResumeAMS:
+			te = span(e, "E", "ring-stall", false)
+		case KProxyRequest:
+			te = span(e, "B", "proxy-wait", true)
+		case KProxyDone:
+			// Emitted on the OMS with A = the resuming AMS's ID: close
+			// that AMS's proxy-wait span and drop an instant on the OMS.
+			amsTrack := byseq[int(e.A)]
+			te = traceEvent{Name: "proxy-wait", Phase: "E", TS: e.TS,
+				PID: amsTrack.Proc, TID: int(e.A)}
+			if err := put(te); err != nil {
+				return err
+			}
+			te = span(e, "i", "proxy-done", true)
+			te.Scope = "t"
+		case KYield:
+			te = span(e, "B", "handler", true)
+		case KSret:
+			te = span(e, "E", "handler", false)
+		default:
+			te = span(e, "i", e.Kind.String(), true)
+			te.Scope = "t"
+		}
+		if err := put(te); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,147 @@
+package obs_test
+
+// Integration tests for the exporters, driven by a real machine run:
+// the simulator is deterministic (one instruction commits machine-wide
+// at a time), so the Chrome trace JSON for a fixed program is
+// byte-stable and can be golden-tested. Regenerate with
+//
+//	go test ./internal/obs -run TestChromeTraceGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"misp/internal/asm"
+	"misp/internal/core"
+	"misp/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// traceSrc exercises every span-producing event kind: SIGNAL starts a
+// shred, the shred's heap fault triggers proxy execution (proxy-wait /
+// handler spans), and each OMS ring transition suspends the AMS
+// (ring0 / ring-stall spans).
+const traceSrc = `
+main:
+    la  r1, proxy_handler
+    setyield r1, 0
+    li  r1, 1
+    la  r2, shred
+    li  r3, 0x70020000
+    signal r1, r2, r3
+    la  r4, flag
+    li  r9, 0
+wait:
+    ldd r5, [r4]
+    beq r5, r9, wait
+    la  r6, value
+    ldd r1, [r6]
+    li  r0, 1
+    syscall
+proxy_handler:
+    proxyexec r1
+    sret
+shred:
+    li  r6, 0x08000000
+    li  r7, 42
+    std r7, [r6]
+    ldd r8, [r6]
+    la  r6, value
+    std r8, [r6]
+    li  r8, 1
+    la  r4, flag
+    std r8, [r4]
+park:
+    pause
+    j park
+.data
+flag:  .u64 0
+value: .u64 0
+`
+
+// runTraced executes traceSrc on a 1 OMS + 1 AMS machine with the event
+// log enabled and returns the machine.
+func runTraced(t *testing.T) *core.Machine {
+	t.Helper()
+	prog, err := asm.Assemble(traceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.Topology{1})
+	cfg.PhysMem = 16 << 20
+	cfg.TraceEvents = true
+	bos, m, err := core.RunBare(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bos.ExitCode != 42 {
+		t.Fatalf("exit code = %d, want 42", bos.ExitCode)
+	}
+	return m
+}
+
+func machineTracks(m *core.Machine) []obs.Track {
+	tracks := make([]obs.Track, 0, len(m.Seqs))
+	for _, s := range m.Seqs {
+		tracks = append(tracks, obs.Track{Seq: s.ID, Proc: s.ProcID, Name: s.Name()})
+	}
+	return tracks
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	m := runTraced(t)
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, m.Obs.Bus.Events(), machineTracks(m)); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrometrace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace diverged from golden file (run with -update to regenerate)\ngot %d bytes, want %d",
+			buf.Len(), len(want))
+	}
+}
+
+func TestTraceTimestampsMonotonicPerSequencer(t *testing.T) {
+	m := runTraced(t)
+	events := m.Obs.Bus.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	last := map[int32]uint64{}
+	kinds := map[obs.Kind]bool{}
+	for i, e := range events {
+		if prev, ok := last[e.Seq]; ok && e.TS < prev {
+			t.Fatalf("event %d (%v on seq %d): TS %d went backwards from %d",
+				i, e.Kind, e.Seq, e.TS, prev)
+		}
+		last[e.Seq] = e.TS
+		kinds[e.Kind] = true
+	}
+	// The program must have exercised the span-producing kinds the
+	// exporter pairs up (B/E consistency depends on them).
+	for _, k := range []obs.Kind{
+		obs.KRingEnter, obs.KRingExit, obs.KSuspendAMS, obs.KResumeAMS,
+		obs.KSignalSend, obs.KProxyRequest, obs.KProxyDone, obs.KYield, obs.KSret,
+	} {
+		if !kinds[k] {
+			t.Errorf("trace never recorded %v", k)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing (or explicitly set) uint64
+// metric. Counters are not synchronized: each machine is single-stream
+// and owns its registry.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Set overwrites the value (used for end-of-run finalized gauges).
+func (c *Counter) Set(n uint64) { c.v = n }
+
+// Value returns the current value.
+func (c *Counter) Value() uint64 { return c.v }
+
+// histBuckets is the bucket count of a Histogram: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. power-of-two ranges
+// [2^(i-1), 2^i) with bucket 0 holding v == 0.
+const histBuckets = 65
+
+// Histogram is a cycle-bucketed (log2) histogram. Observation is a
+// few arithmetic ops and one array increment — cheap enough to stay
+// always-on in the simulator hot paths.
+type Histogram struct {
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [histBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1),
+// resolved to the bucket boundary.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	want := uint64(q * float64(h.count))
+	if want >= h.count {
+		want = h.count - 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > want {
+			if i == 0 {
+				return 0
+			}
+			ub := uint64(1) << uint(i)
+			ub-- // inclusive upper bound of [2^(i-1), 2^i)
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// Buckets returns the non-empty buckets as (upper-bound, count) pairs.
+func (h *Histogram) Buckets() (bounds, counts []uint64) {
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		var ub uint64
+		if i > 0 {
+			ub = uint64(1)<<uint(i) - 1
+		}
+		bounds = append(bounds, ub)
+		counts = append(counts, n)
+	}
+	return
+}
+
+// Registry is a named collection of counters and histograms. Lookups
+// get-or-create, so instrumentation sites can pre-resolve handles once
+// and pay only a plain increment per update.
+type Registry struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue returns the named counter's value (0 if absent, without
+// creating it).
+func (r *Registry) CounterValue(name string) uint64 {
+	if c, ok := r.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteTo renders the registry as sorted plain text, one metric per
+// line: counters as "counter <name> <value>" and histograms as
+// "hist <name> count=… sum=… min=… max=… mean=… p50=… p90=… p99=…".
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, name := range r.Names() {
+		var line string
+		if c, ok := r.counters[name]; ok {
+			line = fmt.Sprintf("counter %-28s %d\n", name, c.v)
+		} else {
+			h := r.hists[name]
+			line = fmt.Sprintf(
+				"hist    %-28s count=%d sum=%d min=%d max=%d mean=%.1f p50=%d p90=%d p99=%d\n",
+				name, h.count, h.sum, h.min, h.max, h.Mean(),
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+		}
+		n, err := io.WriteString(w, line)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the registry dump.
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
+}

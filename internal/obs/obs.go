@@ -1,0 +1,274 @@
+// Package obs is the simulator's observability subsystem: a typed,
+// allocation-conscious event bus with pluggable sinks, a metrics
+// registry (counters and cycle-bucketed histograms), a Chrome
+// trace-event exporter, and a per-PC cycle profiler.
+//
+// It generalizes the prototype firmware's time-stamped event log and
+// per-sequencer counters (paper §4.1) into a first-class subsystem that
+// downstream tools — the experiment drivers in internal/exp, the
+// cmd/misptrace CLI, perf dashboards — consume directly. The package
+// has no dependency on the machine; internal/core emits into it.
+package obs
+
+// Kind classifies fine-grained firmware and kernel events. The values
+// mirror the prototype's event log record types (§4.1).
+type Kind uint8
+
+const (
+	KRingEnter Kind = iota
+	KRingExit
+	KSuspendAMS
+	KResumeAMS
+	KSignalSend
+	KSignalStart
+	KProxyRequest
+	KProxyDeliver
+	KProxyDone
+	KYield
+	KSret
+	KCtxSwitch
+	KProcExit
+	KKernel
+	KRebind
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"ring-enter", "ring-exit", "suspend-ams", "resume-ams",
+	"signal-send", "signal-start", "proxy-request", "proxy-deliver",
+	"proxy-done", "yield", "sret", "ctx-switch", "proc-exit", "kernel",
+	"rebind-ams",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "event?"
+}
+
+// Event is one time-stamped log record. TS is the emitting sequencer's
+// local cycle clock; Seq is the machine-global sequencer ID; A and B
+// are kind-specific payloads (trap cause, target sequencer, addresses).
+type Event struct {
+	TS   uint64
+	Seq  int32
+	Kind Kind
+	A, B uint64
+}
+
+// Sink receives every event emitted on a bus, in emission order.
+// Sinks observe events even when they are later evicted or dropped
+// from the bus's own buffer.
+type Sink interface {
+	OnEvent(Event)
+}
+
+// BufferMode selects what the bus buffer loses when it is full.
+type BufferMode uint8
+
+const (
+	// DropNewest keeps the head of the run and counts everything past
+	// the cap as dropped — the prototype's original semantics.
+	DropNewest BufferMode = iota
+	// EvictOldest keeps the tail of the run (a ring buffer), so the
+	// events leading up to the end of a long run are never lost.
+	EvictOldest
+)
+
+func (m BufferMode) String() string {
+	if m == EvictOldest {
+		return "evict-oldest"
+	}
+	return "drop-newest"
+}
+
+// DefaultEventCap bounds the event buffer when no cap is configured.
+const DefaultEventCap = 1 << 16
+
+// Bus is the event log: a bounded buffer of events plus per-kind
+// counters and optional attached sinks. The disabled emit path is a
+// single branch with no allocation.
+type Bus struct {
+	enabled bool
+	mode    BufferMode
+	max     int
+
+	buf     []Event
+	head    int // ring mode: index of the oldest stored event
+	dropped uint64
+	evicted uint64
+
+	kindCount [NumKinds]uint64
+	sinks     []Sink
+}
+
+// NewBus creates a bus. cap <= 0 selects DefaultEventCap.
+func NewBus(enabled bool, cap int, mode BufferMode) *Bus {
+	if cap <= 0 {
+		cap = DefaultEventCap
+	}
+	return &Bus{enabled: enabled, max: cap, mode: mode}
+}
+
+// Enabled reports whether the bus records events.
+func (b *Bus) Enabled() bool { return b.enabled }
+
+// SetEnabled toggles event recording.
+func (b *Bus) SetEnabled(on bool) { b.enabled = on }
+
+// Mode returns the buffer's full-policy.
+func (b *Bus) Mode() BufferMode { return b.mode }
+
+// Attach registers an additional sink.
+func (b *Bus) Attach(s Sink) { b.sinks = append(b.sinks, s) }
+
+// Emit records one event. Hot path: when the bus is disabled this is a
+// single branch; when enabled and the buffer is at capacity it performs
+// no allocation.
+func (b *Bus) Emit(e Event) {
+	if !b.enabled {
+		return
+	}
+	if e.Kind < NumKinds {
+		b.kindCount[e.Kind]++
+	}
+	for _, s := range b.sinks {
+		s.OnEvent(e)
+	}
+	if len(b.buf) < b.max {
+		b.buf = append(b.buf, e)
+		return
+	}
+	if b.mode == EvictOldest {
+		b.buf[b.head] = e
+		b.head++
+		if b.head == b.max {
+			b.head = 0
+		}
+		b.evicted++
+		return
+	}
+	b.dropped++
+}
+
+// Len returns the number of buffered events.
+func (b *Bus) Len() int { return len(b.buf) }
+
+// Events returns the buffered events in chronological emission order.
+// In ring mode the slice is linearized; the returned slice must not be
+// mutated while the bus is still emitting.
+func (b *Bus) Events() []Event {
+	if b.head == 0 {
+		return b.buf
+	}
+	out := make([]Event, 0, len(b.buf))
+	out = append(out, b.buf[b.head:]...)
+	out = append(out, b.buf[:b.head]...)
+	return out
+}
+
+// Dropped returns the number of emitted events not present in the
+// buffer: tail drops in DropNewest mode plus head evictions in
+// EvictOldest mode. A non-zero value means the buffer is a window, not
+// the whole run.
+func (b *Bus) Dropped() uint64 { return b.dropped + b.evicted }
+
+// Evicted returns the number of oldest-evicted events (ring mode).
+func (b *Bus) Evicted() uint64 { return b.evicted }
+
+// KindCount returns how many events of kind k were emitted — counted at
+// emission, so it is exact even when the buffer dropped or evicted
+// events, and O(1) instead of the former scan over the log.
+func (b *Bus) KindCount(k Kind) uint64 {
+	if k >= NumKinds {
+		return 0
+	}
+	return b.kindCount[k]
+}
+
+// Options configures an Observer.
+type Options struct {
+	// Events enables the fine-grained event log.
+	Events bool
+	// EventCap bounds the event buffer (0 = DefaultEventCap).
+	EventCap int
+	// Mode selects the buffer's full-policy.
+	Mode BufferMode
+	// ProfilePC enables the per-PC cycle profile (hot-spot report).
+	ProfilePC bool
+}
+
+// Observer bundles the subsystem: one event bus, one metrics registry,
+// and an optional PC profile. Each simulated machine owns exactly one.
+type Observer struct {
+	Bus     *Bus
+	Metrics *Registry
+	// Prof is nil unless Options.ProfilePC was set.
+	Prof *Profile
+}
+
+// New builds an observer. The metrics registry is always live — its
+// counters are plain increments and are part of the machine's standard
+// accounting; only the event log and profile are optional.
+func New(opt Options) *Observer {
+	o := &Observer{
+		Bus:     NewBus(opt.Events, opt.EventCap, opt.Mode),
+		Metrics: NewRegistry(),
+	}
+	if opt.ProfilePC {
+		o.Prof = NewProfile()
+	}
+	return o
+}
+
+// Emit records one event on the bus.
+func (o *Observer) Emit(ts uint64, seq int, k Kind, a, b uint64) {
+	o.Bus.Emit(Event{TS: ts, Seq: int32(seq), Kind: k, A: a, B: b})
+}
+
+// Canonical metric names. Counters and histograms under these names are
+// maintained by internal/core and internal/kernel; exporters and the
+// experiment drivers read them back by name.
+const (
+	// Serializing events by cause, summed over OMSs (Table 1's OMS
+	// columns).
+	MOMSSyscalls   = "oms.syscalls"
+	MOMSPageFaults = "oms.page_faults"
+	MOMSTimers     = "oms.timers"
+	MOMSInterrupts = "oms.interrupts"
+	// Ring transitions taken while re-executing AMS instructions under
+	// PROXYEXEC (excluded from the OMS columns, as in Table 1).
+	MOMSProxied = "oms.proxied_services"
+
+	// Proxy-execution requests by cause, summed over AMSs (Table 1's
+	// AMS columns).
+	MAMSProxySyscalls   = "ams.proxy_syscalls"
+	MAMSProxyPageFaults = "ams.proxy_page_faults"
+
+	// Per-ring cycle attribution. Priv accumulates per ring-0 episode;
+	// the remaining totals are finalized at end of run.
+	MCyclesPriv       = "cycles.priv"
+	MCyclesUser       = "cycles.user"
+	MCyclesIdle       = "cycles.idle"
+	MCyclesRingStall  = "cycles.ring_stall"
+	MCyclesProxyStall = "cycles.proxy_stall"
+	MCyclesTotal      = "cycles.total"
+	MInstrs           = "instrs.retired"
+
+	// Latency histograms (cycles) for the quantities the paper
+	// measures: SIGNAL send-to-start latency (§2.4), proxy-execution
+	// round trip (§2.5, Equations 2–3), and per-episode AMS stall under
+	// ring-transition serialization (§2.3, Equation 1).
+	MSignalLatency = "signal.start_latency_cycles"
+	MProxyRTT      = "proxy.round_trip_cycles"
+	MRingStall     = "ring.suspend_stall_cycles"
+
+	// Kernel scheduler activity.
+	MKTicks      = "kernel.ticks"
+	MKSyscalls   = "kernel.syscalls"
+	MKPageFaults = "kernel.page_faults"
+	MKIPIs       = "kernel.ipis"
+	MKSwitches   = "kernel.ctx_switches"
+	MKRebinds    = "kernel.rebinds"
+)

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(ts uint64, seq int, k Kind) Event {
+	return Event{TS: ts, Seq: int32(seq), Kind: k, A: uint64(ts), B: 0}
+}
+
+func TestBusDropNewest(t *testing.T) {
+	b := NewBus(true, 4, DropNewest)
+	for i := 0; i < 6; i++ {
+		b.Emit(ev(uint64(i), 0, KYield))
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+	if b.Dropped() != 2 || b.Evicted() != 0 {
+		t.Fatalf("Dropped/Evicted = %d/%d, want 2/0", b.Dropped(), b.Evicted())
+	}
+	// Head of the run is kept.
+	for i, e := range b.Events() {
+		if e.TS != uint64(i) {
+			t.Fatalf("event %d has TS %d", i, e.TS)
+		}
+	}
+}
+
+func TestBusEvictOldest(t *testing.T) {
+	b := NewBus(true, 4, EvictOldest)
+	for i := 0; i < 7; i++ {
+		b.Emit(ev(uint64(i), 0, KYield))
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+	if b.Dropped() != 3 || b.Evicted() != 3 {
+		t.Fatalf("Dropped/Evicted = %d/%d, want 3/3", b.Dropped(), b.Evicted())
+	}
+	// Tail of the run is kept, linearized in emission order.
+	got := b.Events()
+	for i, e := range got {
+		if want := uint64(3 + i); e.TS != want {
+			t.Fatalf("event %d has TS %d, want %d", i, e.TS, want)
+		}
+	}
+}
+
+func TestKindCountExactUnderLoss(t *testing.T) {
+	b := NewBus(true, 2, EvictOldest)
+	for i := 0; i < 10; i++ {
+		b.Emit(ev(uint64(i), 0, KSignalSend))
+	}
+	b.Emit(ev(11, 0, KYield))
+	if got := b.KindCount(KSignalSend); got != 10 {
+		t.Fatalf("KindCount(signal-send) = %d, want 10 (must count evicted events)", got)
+	}
+	if got := b.KindCount(KYield); got != 1 {
+		t.Fatalf("KindCount(yield) = %d, want 1", got)
+	}
+	if got := b.KindCount(KSret); got != 0 {
+		t.Fatalf("KindCount(sret) = %d, want 0", got)
+	}
+}
+
+type collectSink struct{ got []Event }
+
+func (c *collectSink) OnEvent(e Event) { c.got = append(c.got, e) }
+
+func TestSinkSeesEvictedEvents(t *testing.T) {
+	b := NewBus(true, 2, EvictOldest)
+	sink := &collectSink{}
+	b.Attach(sink)
+	for i := 0; i < 5; i++ {
+		b.Emit(ev(uint64(i), 0, KYield))
+	}
+	if len(sink.got) != 5 {
+		t.Fatalf("sink saw %d events, want all 5", len(sink.got))
+	}
+}
+
+func TestDisabledPathsDoNotAllocate(t *testing.T) {
+	bus := NewBus(false, 4, DropNewest)
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	h := reg.Histogram("h")
+	// Pre-fill a ring-mode bus to capacity: steady-state enabled emission
+	// must not allocate either.
+	ring := NewBus(true, 8, EvictOldest)
+	for i := 0; i < 8; i++ {
+		ring.Emit(ev(uint64(i), 0, KYield))
+	}
+	e := ev(99, 1, KSignalSend)
+	if n := testing.AllocsPerRun(1000, func() {
+		bus.Emit(e)
+		c.Inc()
+		h.Observe(12345)
+		ring.Emit(e)
+	}); n != 0 {
+		t.Fatalf("hot paths allocated %.1f times per op, want 0", n)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 1000, 1_000_000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1_001_006 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1_000_000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m < 166834 || m > 166835 {
+		t.Fatalf("mean = %f", m)
+	}
+	// Quantiles resolve to bucket upper bounds, clamped to max.
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %d", q)
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %d, want 3", q)
+	}
+	if q := h.Quantile(1); q != 1_000_000 {
+		t.Fatalf("p100 = %d", q)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != len(counts) || len(bounds) == 0 {
+		t.Fatalf("buckets: %v %v", bounds, counts)
+	}
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	if n != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", n, h.Count())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must read as zero")
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(7)
+	r.Counter("a.count").Inc()
+	r.Histogram("c.lat").Observe(100)
+	if v := r.CounterValue("b.count"); v != 7 {
+		t.Fatalf("CounterValue = %d", v)
+	}
+	if v := r.CounterValue("absent"); v != 0 {
+		t.Fatalf("absent counter = %d", v)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a.count" || names[2] != "c.lat" {
+		t.Fatalf("Names = %v", names)
+	}
+	dump := r.String()
+	for _, want := range []string{"counter a.count", "counter b.count", "hist    c.lat", "p99=100"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p := NewProfile()
+	p.Add(0x100, 10)
+	p.Add(0x100, 10)
+	p.Add(0x108, 50)
+	if p.TotalCycles() != 70 {
+		t.Fatalf("total = %d", p.TotalCycles())
+	}
+	s := p.Samples()
+	if len(s) != 2 || s[0].PC != 0x108 || s[0].Cycles != 50 || s[1].Count != 2 {
+		t.Fatalf("samples = %+v", s)
+	}
+	sym := Symbolizer(map[string]uint64{"f": 0x100, "g": 0x200})
+	if got := sym(0x100); got != "f" {
+		t.Fatalf("sym(0x100) = %q", got)
+	}
+	if got := sym(0x108); got != "f+0x8" {
+		t.Fatalf("sym(0x108) = %q", got)
+	}
+	if got := sym(0x50); got != "?" {
+		t.Fatalf("sym(0x50) = %q", got)
+	}
+	var b strings.Builder
+	if err := p.WriteTo(&b, sym, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "f+0x8") || strings.Contains(out, "\n0x100") {
+		t.Fatalf("report:\n%s", out)
+	}
+}

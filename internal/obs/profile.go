@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Profile is a flat per-PC cycle profile: for every program counter it
+// accumulates the simulated cycles spent executing the instruction at
+// that PC and how many times it retired — "where did the simulated
+// cycles go". It is the simulator-side analogue of a sampling profiler,
+// except exact.
+type Profile struct {
+	pcs map[uint64]*PCStat
+}
+
+// PCStat is one program counter's accumulated cost.
+type PCStat struct {
+	Cycles uint64
+	Count  uint64
+}
+
+// NewProfile creates an empty profile.
+func NewProfile() *Profile {
+	return &Profile{pcs: make(map[uint64]*PCStat)}
+}
+
+// Add attributes cycles to pc.
+func (p *Profile) Add(pc, cycles uint64) {
+	st := p.pcs[pc]
+	if st == nil {
+		st = &PCStat{}
+		p.pcs[pc] = st
+	}
+	st.Cycles += cycles
+	st.Count++
+}
+
+// PCSample is one row of the sorted profile.
+type PCSample struct {
+	PC     uint64
+	Cycles uint64
+	Count  uint64
+}
+
+// TotalCycles returns the sum of all attributed cycles.
+func (p *Profile) TotalCycles() uint64 {
+	var t uint64
+	for _, st := range p.pcs {
+		t += st.Cycles
+	}
+	return t
+}
+
+// Samples returns every PC sorted by descending cycles (PC ascending on
+// ties, so output is deterministic).
+func (p *Profile) Samples() []PCSample {
+	out := make([]PCSample, 0, len(p.pcs))
+	for pc, st := range p.pcs {
+		out = append(out, PCSample{PC: pc, Cycles: st.Cycles, Count: st.Count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// Symbolizer returns a PC-to-label function resolving each PC to the
+// nearest preceding symbol (plus offset), given a symbol table such as
+// asm.Program.Symbols. PCs below every symbol resolve to "?".
+func Symbolizer(syms map[string]uint64) func(uint64) string {
+	type sym struct {
+		name string
+		addr uint64
+	}
+	sorted := make([]sym, 0, len(syms))
+	for n, a := range syms {
+		sorted = append(sorted, sym{n, a})
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].addr != sorted[j].addr {
+			return sorted[i].addr < sorted[j].addr
+		}
+		return sorted[i].name < sorted[j].name
+	})
+	return func(pc uint64) string {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].addr > pc })
+		if i == 0 {
+			return "?"
+		}
+		s := sorted[i-1]
+		if off := pc - s.addr; off != 0 {
+			return fmt.Sprintf("%s+0x%x", s.name, off)
+		}
+		return s.name
+	}
+}
+
+// WriteTo renders the top-n hot spots (n <= 0 means all) as an aligned
+// text report with cumulative percentages. sym may be nil.
+func (p *Profile) WriteTo(w io.Writer, sym func(uint64) string, n int) error {
+	samples := p.Samples()
+	total := p.TotalCycles()
+	if n <= 0 || n > len(samples) {
+		n = len(samples)
+	}
+	if _, err := fmt.Fprintf(w,
+		"hot spots: %d PCs, %d cycles attributed (top %d)\n%12s %14s %6s %6s %10s  %s\n",
+		len(samples), total, n, "pc", "cycles", "%", "cum%", "count", "symbol"); err != nil {
+		return err
+	}
+	var cum uint64
+	for _, s := range samples[:n] {
+		cum += s.Cycles
+		label := ""
+		if sym != nil {
+			label = sym(s.PC)
+		}
+		pct := func(v uint64) float64 {
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(v) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "%#12x %14d %6.2f %6.2f %10d  %s\n",
+			s.PC, s.Cycles, pct(s.Cycles), pct(cum), s.Count, label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package report
+
+import (
+	"fmt"
+
+	"misp/internal/core"
+)
+
+// RunSummary renders a machine's end-of-run report, including the
+// event-log loss accounting: when the trace buffer is a window on the
+// run (dropped > 0), the table says so instead of silently presenting a
+// truncated log as complete.
+func RunSummary(rep core.RunReport) *Table {
+	t := &Table{
+		Title: "Run summary",
+		Cols:  []string{"metric", "value"},
+	}
+	t.Add("cycles", rep.Cycles)
+	t.Add("instructions", rep.Instrs)
+	if rep.TraceEnabled {
+		t.Add("trace events retained", rep.TraceEvents)
+		t.Add("trace events dropped", rep.TraceDropped)
+		if rep.TraceEvicted > 0 {
+			t.Add("  of which oldest-evicted", rep.TraceEvicted)
+		}
+		if rep.TraceDropped > 0 {
+			t.Add("trace coverage", fmt.Sprintf("PARTIAL (%d events lost)", rep.TraceDropped))
+		} else {
+			t.Add("trace coverage", "complete")
+		}
+	} else {
+		t.Add("trace", "disabled")
+	}
+	return t
+}
