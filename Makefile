@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke verify bench
+.PHONY: build vet test race smoke verify bench ci benchcore
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,12 @@ verify: build vet race smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# benchcore times the simulator's event-horizon fast path against the
+# legacy loop and writes BENCH_core.json (instrs/sec, cycles, allocs,
+# speedup). Size test keeps it quick enough for CI.
+benchcore:
+	$(GO) run ./cmd/mispbench -exp bench -size test -json BENCH_core.json
+
+# ci is the full gate run by the GitHub Actions workflow.
+ci: build vet race smoke benchcore

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"misp/internal/core"
+	"misp/internal/shredlib"
+	"misp/internal/workloads"
+)
+
+// benchApps are the workloads timed by `-exp bench`: one dense kernel,
+// one sparse kernel, and one clustering loop — together they exercise
+// the signal/proxy/atomic paths that dominate the simulator's inner
+// loop without taking minutes at the default size.
+var benchApps = []string{"dense_mmm", "sparse_mvm", "kmeans"}
+
+// benchResult is the schema of BENCH_core.json.
+type benchResult struct {
+	Size      string   `json:"size"`
+	Seqs      int      `json:"seqs"`
+	Workloads []string `json:"workloads"`
+	Reps      int      `json:"reps"`
+
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+
+	LegacyWallSeconds  float64 `json:"legacy_wall_seconds"`
+	LegacyInstrsPerSec float64 `json:"legacy_instrs_per_sec"`
+	LegacyAllocs       uint64  `json:"legacy_allocs"`
+
+	Speedup float64 `json:"speedup"`
+}
+
+// benchReps is the repetition count per (workload, loop): the reported
+// wall time is the best rep, which rejects GC and scheduler noise. Reps
+// shrink as the problem size grows.
+func benchReps(size workloads.Size) int {
+	switch size {
+	case workloads.SizeTest:
+		return 5
+	case workloads.SizeSmall:
+		return 3
+	}
+	return 1
+}
+
+// benchLoop runs the bench workloads under one run-loop implementation
+// and returns (instructions retired, simulated cycles, wall time,
+// heap allocations). Only Machine.Run is timed — machine construction
+// (a 128 MiB memory clear) and result verification happen outside the
+// clock, and each rep runs on a freshly prepared machine with the best
+// rep reported.
+func benchLoop(size workloads.Size, seqs int, legacy bool) (uint64, uint64, time.Duration, uint64, error) {
+	top := make(core.Topology, 1)
+	top[0] = seqs - 1 // one OMS plus seqs-1 AMSs
+	cfg := workloads.DefaultConfig(top)
+	cfg.LegacyLoop = legacy
+	reps := benchReps(size)
+
+	var instrs, cycles uint64
+	var wall time.Duration
+	var allocs uint64
+	for _, name := range benchApps {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		best := time.Duration(math.MaxInt64)
+		var bestAllocs uint64
+		for rep := 0; rep < reps; rep++ {
+			pr, err := workloads.Prepare(w, shredlib.ModeShred, cfg, size)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			res, err := pr.Run()
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			if ref := w.Ref(size); !checksumOK(res.Checksum, ref) {
+				return 0, 0, 0, 0, fmt.Errorf("bench: %s checksum %g != reference %g", name, res.Checksum, ref)
+			}
+			if elapsed < best {
+				best = elapsed
+				bestAllocs = ms1.Mallocs - ms0.Mallocs
+			}
+			if rep == 0 {
+				instrs += res.Machine.Steps
+				cycles += res.Machine.MaxClock()
+			}
+		}
+		wall += best
+		allocs += bestAllocs
+	}
+	return instrs, cycles, wall, allocs, nil
+}
+
+func checksumOK(got, want float64) bool {
+	if got == want {
+		return true
+	}
+	diff := math.Abs(got - want)
+	return diff <= 1e-9*math.Max(math.Abs(got), math.Abs(want))
+}
+
+// runBench times the simulator's fast path against the legacy
+// one-instruction-per-iteration loop on identical workloads and writes
+// the result as JSON so CI can track the perf trajectory.
+func runBench(size workloads.Size, seqs int, jsonPath string) error {
+	reps := benchReps(size)
+	fmt.Printf("bench: %v at size %s on %d sequencers, best of %d (legacy loop)...\n",
+		benchApps, size, seqs, reps)
+	lInstrs, lCycles, lWall, lAllocs, err := benchLoop(size, seqs, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench: legacy  %12d instrs  %v  %.3g instrs/sec\n",
+		lInstrs, lWall.Round(time.Millisecond), float64(lInstrs)/lWall.Seconds())
+
+	fmt.Printf("bench: %v at size %s on %d sequencers, best of %d (fast path)...\n",
+		benchApps, size, seqs, reps)
+	fInstrs, fCycles, fWall, fAllocs, err := benchLoop(size, seqs, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench: fast    %12d instrs  %v  %.3g instrs/sec\n",
+		fInstrs, fWall.Round(time.Millisecond), float64(fInstrs)/fWall.Seconds())
+
+	if fInstrs != lInstrs || fCycles != lCycles {
+		return fmt.Errorf("bench: loops diverge: instrs %d/%d cycles %d/%d",
+			lInstrs, fInstrs, lCycles, fCycles)
+	}
+
+	res := benchResult{
+		Size:      size.String(),
+		Seqs:      seqs,
+		Workloads: benchApps,
+		Reps:      reps,
+
+		Instructions: fInstrs,
+		Cycles:       fCycles,
+		WallSeconds:  fWall.Seconds(),
+		InstrsPerSec: float64(fInstrs) / fWall.Seconds(),
+		Allocs:       fAllocs,
+
+		LegacyWallSeconds:  lWall.Seconds(),
+		LegacyInstrsPerSec: float64(lInstrs) / lWall.Seconds(),
+		LegacyAllocs:       lAllocs,
+
+		Speedup: lWall.Seconds() / fWall.Seconds(),
+	}
+	fmt.Printf("bench: speedup %.2fx (allocs %d -> %d)\n", res.Speedup, lAllocs, fAllocs)
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(&res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
+	return nil
+}

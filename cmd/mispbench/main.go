@@ -3,8 +3,14 @@
 //
 // Usage:
 //
-//	mispbench [-exp all|fig4|table1|fig5|fig7|table2|ring|probe|signalsweep]
+//	mispbench [-exp all|fig4|table1|fig5|fig7|table2|ring|probe|signalsweep|bench]
 //	          [-size test|small|ref] [-seqs 8] [-apps a,b,c] [-csv dir]
+//	          [-json BENCH_core.json]
+//
+// `-exp bench` times the simulator itself (fast path vs legacy loop)
+// instead of reproducing a paper figure, and `-json` writes the
+// measurements (instructions/sec, cycles simulated, allocations,
+// speedup) for CI tracking.
 package main
 
 import (
@@ -21,12 +27,13 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig4, table1, fig5, fig7, table2, ring, probe, dynamic, signalsweep")
+	expName := flag.String("exp", "all", "experiment: all, fig4, table1, fig5, fig7, table2, ring, probe, dynamic, signalsweep, bench")
 	sizeName := flag.String("size", "small", "problem size: test, small, ref")
 	seqs := flag.Int("seqs", 8, "total sequencers per configuration")
 	apps := flag.String("apps", "", "comma-separated workload subset (default: all 16)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
 	maxLoad := flag.Int("load", 4, "fig7: maximum number of competing processes")
+	jsonPath := flag.String("json", "", "bench: write measurements to this JSON file (default BENCH_core.json)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeName)
@@ -64,6 +71,17 @@ func main() {
 	}
 
 	which := *expName
+	if which == "bench" {
+		out := *jsonPath
+		if out == "" {
+			out = "BENCH_core.json"
+		}
+		if err := runBench(size, *seqs, out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var results []*exp.AppResult
 	needEval := which == "all" || which == "fig4" || which == "table1"
 	if needEval {

@@ -125,7 +125,21 @@ type Config struct {
 	// MaxCycles aborts a run that exceeds this global time (a deadlock
 	// guard for tests); 0 means no limit.
 	MaxCycles uint64
+
+	// BatchInstrs bounds the fast path's inner loop: the chosen sequencer
+	// runs at most this many instructions before the run loop re-selects,
+	// even if it has not reached the event horizon. 0 selects
+	// DefaultBatchInstrs.
+	BatchInstrs int
+	// LegacyLoop selects the original one-instruction-per-iteration run
+	// loop (O(#sequencers) scan per instruction). The fast path is
+	// difftested against it; results are bit-identical.
+	LegacyLoop bool
 }
+
+// DefaultBatchInstrs is the fast path's inner-loop bound when
+// Config.BatchInstrs is 0.
+const DefaultBatchInstrs = 64
 
 // DefaultConfig returns the baseline configuration used throughout the
 // evaluation: the paper's 5000-cycle signal estimate and a scaled OS
@@ -148,6 +162,7 @@ func DefaultConfig(top Topology) Config {
 		AMSStateCost:    400,
 		RingPolicy:      RingSuspendAll,
 		MaxTraceEvents:  1 << 16,
+		BatchInstrs:     DefaultBatchInstrs,
 	}
 }
 
@@ -169,6 +184,9 @@ func (c *Config) Validate() error {
 	}
 	if c.QuantumTicks <= 0 {
 		return fmt.Errorf("core: QuantumTicks must be positive")
+	}
+	if c.BatchInstrs < 0 {
+		return fmt.Errorf("core: BatchInstrs must be non-negative")
 	}
 	return nil
 }

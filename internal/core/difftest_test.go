@@ -155,7 +155,8 @@ func TestInterpreterDifferential(t *testing.T) {
 			evalRef(in, &refR, &refF)
 		}
 
-		// Simulator execution.
+		// Simulator execution under both run loops: each must match the
+		// reference, and the loops must agree with each other exactly.
 		b := asm.NewBuilder()
 		b.Entry("main")
 		b.Label("main")
@@ -165,35 +166,42 @@ func TestInterpreterDifferential(t *testing.T) {
 		b.Halt() // stops the machine with state intact (ring-0 test mode)
 		image := b.MustBuild()
 
-		cfg := testCfg(0)
-		m, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		bos, err := LoadBare(m, image)
-		if err != nil {
-			t.Fatal(err)
-		}
-		_ = bos
-		oms := m.Procs[0].OMS()
-		oms.Regs = regs
-		oms.FRegs = fregs
-		oms.Ring = isa.Ring0 // allow the final HALT
-		if err := m.Run(); err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
-		}
+		var clocks, steps [2]uint64
+		for mode, legacy := range []bool{false, true} {
+			cfg := testCfg(0)
+			cfg.LegacyLoop = legacy
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadBare(m, image); err != nil {
+				t.Fatal(err)
+			}
+			oms := m.Procs[0].OMS()
+			oms.Regs = regs
+			oms.FRegs = fregs
+			oms.Ring = isa.Ring0 // allow the final HALT
+			if err := m.Run(); err != nil {
+				t.Fatalf("trial %d (legacy=%v): %v", trial, legacy, err)
+			}
+			clocks[mode], steps[mode] = oms.Clock, m.Steps
 
-		for i := 1; i < 14; i++ {
-			if oms.Regs[i] != refR[i] {
-				t.Fatalf("trial %d: r%d = %#x, reference %#x", trial, i, oms.Regs[i], refR[i])
+			for i := 1; i < 14; i++ {
+				if oms.Regs[i] != refR[i] {
+					t.Fatalf("trial %d (legacy=%v): r%d = %#x, reference %#x", trial, legacy, i, oms.Regs[i], refR[i])
+				}
+			}
+			for i := 0; i < 16; i++ {
+				got := math.Float64bits(oms.FRegs[i])
+				want := math.Float64bits(refF[i])
+				if got != want {
+					t.Fatalf("trial %d (legacy=%v): f%d = %#x, reference %#x", trial, legacy, i, got, want)
+				}
 			}
 		}
-		for i := 0; i < 16; i++ {
-			got := math.Float64bits(oms.FRegs[i])
-			want := math.Float64bits(refF[i])
-			if got != want {
-				t.Fatalf("trial %d: f%d = %#x, reference %#x", trial, i, got, want)
-			}
+		if clocks[0] != clocks[1] || steps[0] != steps[1] {
+			t.Fatalf("trial %d: loops diverge: clock %d/%d steps %d/%d",
+				trial, clocks[0], clocks[1], steps[0], steps[1])
 		}
 	}
 }

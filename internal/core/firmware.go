@@ -69,6 +69,10 @@ func (m *Machine) kernelTrap(s *Sequencer, trap isa.Trap, info uint64) {
 	m.resumeAMSs(proc)
 	proc.inRing0 = false
 	m.emit(s.Clock, s.ID, EvRingExit, uint64(trap), 0)
+	// The kernel may have mutated any sequencer (context switches, IPIs,
+	// timer re-arming, thread exits); the event heap's cached keys are
+	// untrustworthy until rebuilt.
+	m.evqDirty = true
 }
 
 // suspendAMSs parks every running AMS of proc. Each AMS observes the
@@ -162,6 +166,8 @@ func (m *Machine) proxyRequest(ams *Sequencer, f *fault) {
 		FrameVA: frameVA,
 	})
 	m.emit(ams.Clock, ams.ID, EvProxyRequest, uint64(f.trap), f.info)
+	m.evq.update(ams)
+	m.evq.update(proc.OMS())
 }
 
 // proxyExec implements the PROXYEXEC instruction on the OMS (§2.5):
@@ -249,6 +255,7 @@ func (m *Machine) proxyExec(oms *Sequencer, frameVA uint64) *fault {
 	m.mx.proxyRTT.Observe(ams.Clock - ams.stallStart)
 	ams.State = StateRunning
 	ams.proxyFrame = 0
+	m.evq.update(ams)
 	m.emit(oms.Clock, oms.ID, EvProxyDone, uint64(ams.ID), frameVA)
 	return nil
 }
@@ -269,6 +276,7 @@ func (m *Machine) doSignal(s *Sequencer, in isa.Instr) *fault {
 	ip, sp := s.Regs[in.Rs1], s.Regs[in.Rs2]
 	target.queueSignal(s.Clock, s.Clock+m.Cfg.SignalCost, ip, sp)
 	s.C.SignalsSent++
+	m.evq.update(target)
 	m.emit(s.Clock, s.ID, EvSignalSend, sid, ip)
 	return nil
 }

@@ -28,12 +28,20 @@ func (m *Machine) exec(s *Sequencer) {
 
 // execOne fetches, decodes and executes a single instruction. On a
 // fault it returns without committing: s.PC still addresses the
-// faulting instruction. Traps are NOT handled here.
+// faulting instruction. Traps are NOT handled here. The legacy loop
+// decodes afresh each instruction, exactly as the seed interpreter did;
+// the decode page cache belongs to the fast path.
 func (m *Machine) execOne(s *Sequencer) *fault {
-	in, f := m.fetch(s)
+	in, f := m.fetchUncached(s)
 	if f != nil {
 		return f
 	}
+	return m.execInstr(s, in)
+}
+
+// execInstr executes the already-fetched instruction at s.PC. The batch
+// loop fetches once to inspect the opcode and passes it here.
+func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
 	if !isa.Valid(in.Op) {
 		return &fault{trap: isa.TrapBadInstr, info: s.PC}
 	}
@@ -322,6 +330,8 @@ func (m *Machine) execOne(s *Sequencer) *fault {
 	case isa.OpInvlpg:
 		s.TLB.FlushPage(r[in.Rs1])
 		s.fetchVPN = 0
+		s.decBase = 0
+		s.winGen = nil
 	case isa.OpTlbflush:
 		s.flushTranslation()
 
@@ -342,6 +352,12 @@ func (m *Machine) execOne(s *Sequencer) *fault {
 		}
 		s.Yield[sc] = r[in.Rs1]
 	case isa.OpSret:
+		if !s.InHandler {
+			// sret reports the fatal error; the instruction must not
+			// retire (no cost, no Instrs/Steps) on the way down.
+			m.sret(s)
+			return nil
+		}
 		s.Clock += uint64(info.Cost)
 		s.C.Instrs++
 		m.Steps++

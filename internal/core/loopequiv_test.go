@@ -1,0 +1,352 @@
+package core
+
+import (
+	"testing"
+
+	"misp/internal/asm"
+)
+
+// Loop-equivalence difftest: the event-horizon fast path must be
+// bit-identical to the legacy one-instruction-per-iteration loop —
+// identical final clocks, Table 1 counters, retired-instruction counts,
+// and obs event streams — on workloads that exercise every machine
+// mechanism (signals, proxy execution, ring serialization, atomics,
+// yield handlers).
+
+// runLoop executes src on cfg with the selected loop and full tracing.
+func runLoop(t *testing.T, cfg Config, src string, legacy bool) (*BareOS, *Machine) {
+	t.Helper()
+	cfg.TraceEvents = true
+	cfg.LegacyLoop = legacy
+	p := asm.MustAssemble(src)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run (legacy=%v): %v", legacy, err)
+	}
+	if b.Err != nil {
+		t.Fatalf("run (legacy=%v): %v", legacy, b.Err)
+	}
+	return b, m
+}
+
+// checkEquiv runs src under both loops and demands bit-identical
+// machine-visible outcomes.
+func checkEquiv(t *testing.T, cfg Config, src string) {
+	t.Helper()
+	bL, mL := runLoop(t, cfg, src, true)
+	bF, mF := runLoop(t, cfg, src, false)
+
+	if bL.ExitCode != bF.ExitCode || bL.Out.String() != bF.Out.String() {
+		t.Fatalf("outputs diverge: exit %d/%d out %q/%q",
+			bL.ExitCode, bF.ExitCode, bL.Out.String(), bF.Out.String())
+	}
+	if mL.Steps != mF.Steps {
+		t.Fatalf("steps diverge: legacy %d fast %d", mL.Steps, mF.Steps)
+	}
+	if mL.MaxClock() != mF.MaxClock() {
+		t.Fatalf("wall clock diverges: legacy %d fast %d", mL.MaxClock(), mF.MaxClock())
+	}
+	for i := range mL.Seqs {
+		sl, sf := mL.Seqs[i], mF.Seqs[i]
+		if sl.Clock != sf.Clock {
+			t.Errorf("%s: clock %d (legacy) != %d (fast)", sl.Name(), sl.Clock, sf.Clock)
+		}
+		if sl.C != sf.C {
+			t.Errorf("%s: counters diverge:\nlegacy %+v\nfast   %+v", sl.Name(), sl.C, sf.C)
+		}
+	}
+	evL, evF := mL.Trace.Events(), mF.Trace.Events()
+	if len(evL) != len(evF) {
+		t.Fatalf("event streams diverge in length: legacy %d fast %d", len(evL), len(evF))
+	}
+	for i := range evL {
+		if evL[i] != evF[i] {
+			t.Fatalf("event %d diverges:\nlegacy %+v\nfast   %+v", i, evL[i], evF[i])
+		}
+	}
+}
+
+func TestLoopEquivalenceShred(t *testing.T) {
+	checkEquiv(t, testCfg(3), shredProg)
+}
+
+func TestLoopEquivalenceProxy(t *testing.T) {
+	checkEquiv(t, testCfg(1), proxyProg)
+	checkEquiv(t, testCfg(3), proxyProg)
+}
+
+func TestLoopEquivalenceAtomics(t *testing.T) {
+	// OMS and two shreds hammer a shared lock: interleaving-sensitive.
+	const src = `
+main:
+    la  r1, proxy_handler
+    setyield r1, 0
+    li  r1, 1
+    la  r2, shred
+    li  r3, 0x70020000
+    signal r1, r2, r3
+    li  r1, 2
+    la  r2, shred
+    li  r3, 0x70040000
+    signal r1, r2, r3
+    li  r10, 300
+    call work
+    la  r4, done
+    li  r8, 1
+    aadd r7, r4, r8
+    li  r9, 3
+wj: ldd r5, [r4]
+    bne r5, r9, wj
+    la  r6, counter
+    ldd r1, [r6]
+    andi r1, r1, 255
+    li  r0, 1
+    syscall
+proxy_handler:
+    proxyexec r1
+    sret
+shred:
+    li  r10, 300
+    call work
+    la  r4, done
+    li  r8, 1
+    aadd r7, r4, r8
+park:
+    pause
+    j park
+work:
+    la  r2, lock
+    la  r3, counter
+wloop:
+    li  r6, 0
+    li  r7, 1
+    mov r0, r6
+acq:
+    acas r0, r2, r7
+    li  r9, 0
+    beq r0, r9, got
+    pause
+    mov r0, r9
+    j acq
+got:
+    ldd r8, [r3]
+    addi r8, r8, 1
+    std r8, [r3]
+    li  r9, 0
+    std r9, [r2]
+    addi r10, r10, -1
+    li  r9, 0
+    bne r10, r9, wloop
+    ret
+.data
+lock:    .u64 0
+counter: .u64 0
+done:    .u64 0
+`
+	checkEquiv(t, testCfg(2), src)
+}
+
+func TestLoopEquivalenceTimer(t *testing.T) {
+	// Arm the timer aggressively so the fast path repeatedly crosses a
+	// timer deadline mid-batch and must break exactly where the legacy
+	// loop does. BareOS quiesces the timer after each firing, so re-arm
+	// by shortening the interval and running a long compute loop.
+	cfg := testCfg(1)
+	cfg.TimerInterval = 20_000
+	src := `
+main:
+    la  r1, proxy_handler
+    setyield r1, 0
+    li  r1, 1
+    la  r2, shred
+    li  r3, 0x70020000
+    signal r1, r2, r3
+    li  r10, 30000
+mloop:
+    addi r10, r10, -1
+    li  r9, 0
+    bne r10, r9, mloop
+    la  r4, flag
+wait:
+    ldd r5, [r4]
+    li  r9, 0
+    beq r5, r9, wait
+    li  r0, 1
+    li  r1, 9
+    syscall
+proxy_handler:
+    proxyexec r1
+    sret
+shred:
+    li  r6, 5000
+sloop:
+    addi r6, r6, -1
+    li  r9, 0
+    bne r6, r9, sloop
+    li  r8, 1
+    la  r4, flag
+    std r8, [r4]
+park:
+    pause
+    j park
+.data
+flag: .u64 0
+`
+	// Arm the deadline on load (BareOS does not schedule; the machine
+	// still takes the interrupt and quiesces).
+	p := asm.MustAssemble(src)
+	for _, legacy := range []bool{true, false} {
+		cfg := cfg
+		cfg.TraceEvents = true
+		cfg.LegacyLoop = legacy
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := LoadBare(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Procs[0].OMS().TimerDeadline = cfg.TimerInterval
+		if err := m.Run(); err != nil || b.Err != nil {
+			t.Fatalf("run (legacy=%v): %v / %v", legacy, err, b.Err)
+		}
+		if m.Procs[0].OMS().C.Timers == 0 {
+			t.Fatalf("timer never fired (legacy=%v)", legacy)
+		}
+	}
+	checkEquivArmed(t, cfg, p)
+}
+
+// checkEquivArmed is checkEquiv with the OMS timer armed at load.
+func checkEquivArmed(t *testing.T, cfg Config, p *asm.Program) {
+	t.Helper()
+	var ms [2]*Machine
+	for mode, legacy := range []bool{true, false} {
+		c := cfg
+		c.TraceEvents = true
+		c.LegacyLoop = legacy
+		m, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := LoadBare(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Procs[0].OMS().TimerDeadline = c.TimerInterval
+		if err := m.Run(); err != nil || b.Err != nil {
+			t.Fatalf("run (legacy=%v): %v / %v", legacy, err, b.Err)
+		}
+		ms[mode] = m
+	}
+	mL, mF := ms[0], ms[1]
+	if mL.Steps != mF.Steps || mL.MaxClock() != mF.MaxClock() {
+		t.Fatalf("diverge: steps %d/%d clock %d/%d", mL.Steps, mF.Steps, mL.MaxClock(), mF.MaxClock())
+	}
+	for i := range mL.Seqs {
+		if mL.Seqs[i].Clock != mF.Seqs[i].Clock || mL.Seqs[i].C != mF.Seqs[i].C {
+			t.Errorf("%s diverges between loops", mL.Seqs[i].Name())
+		}
+	}
+	evL, evF := mL.Trace.Events(), mF.Trace.Events()
+	if len(evL) != len(evF) {
+		t.Fatalf("event streams diverge in length: %d/%d", len(evL), len(evF))
+	}
+	for i := range evL {
+		if evL[i] != evF[i] {
+			t.Fatalf("event %d diverges:\nlegacy %+v\nfast   %+v", i, evL[i], evF[i])
+		}
+	}
+}
+
+func TestLoopEquivalenceHeapMode(t *testing.T) {
+	// 1 OMS + 20 AMSs crosses scanThreshold, so selection runs on the
+	// maintained binary heap — every other equivalence test stays in the
+	// linear-scan regime. Twenty shreds hammer one shared counter with
+	// atomics to keep selection order observable in the final state.
+	const src = `
+main:
+    la  r1, proxy_handler
+    setyield r1, 0
+    li  r1, 1
+    li  r5, 21
+spawn:
+    la  r2, shred
+    li  r3, 0x70000000
+    li  r4, 0x20000
+    mul r6, r1, r4
+    add r3, r3, r6
+    signal r1, r2, r3
+    addi r1, r1, 1
+    bne r1, r5, spawn
+    la  r4, done
+    li  r9, 20
+wait:
+    ldd r5, [r4]
+    bne r5, r9, wait
+    la  r6, counter
+    ldd r1, [r6]
+    andi r1, r1, 255
+    li  r0, 1
+    syscall
+proxy_handler:
+    proxyexec r1
+    sret
+shred:
+    li  r10, 40
+    la  r3, counter
+    li  r8, 1
+sloop:
+    aadd r7, r3, r8
+    addi r10, r10, -1
+    li  r9, 0
+    bne r10, r9, sloop
+    la  r4, done
+    aadd r7, r4, r8
+park:
+    pause
+    j park
+.data
+counter: .u64 0
+done:    .u64 0
+`
+	bL, _ := runLoop(t, testCfg(20), src, true)
+	// 20 shreds x 40 increments = 800; exit code is 800 & 255.
+	if bL.ExitCode != 800&255 {
+		t.Fatalf("exit = %d, want %d", bL.ExitCode, 800&255)
+	}
+	checkEquiv(t, testCfg(20), src)
+}
+
+func TestLoopEquivalenceBatchSizes(t *testing.T) {
+	// The batch bound must not be observable: any BatchInstrs yields the
+	// same machine execution.
+	var base *Machine
+	for _, bi := range []int{1, 2, 7, 64, 100000} {
+		cfg := testCfg(1)
+		cfg.TraceEvents = true
+		cfg.BatchInstrs = bi
+		_, m := runLoop(t, cfg, proxyProg, false)
+		if base == nil {
+			base = m
+			continue
+		}
+		if m.Steps != base.Steps || m.MaxClock() != base.MaxClock() {
+			t.Fatalf("BatchInstrs=%d diverges: steps %d/%d clock %d/%d",
+				bi, m.Steps, base.Steps, m.MaxClock(), base.MaxClock())
+		}
+		for i := range m.Seqs {
+			if m.Seqs[i].C != base.Seqs[i].C {
+				t.Fatalf("BatchInstrs=%d: %s counters diverge", bi, m.Seqs[i].Name())
+			}
+		}
+	}
+}

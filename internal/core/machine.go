@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"misp/internal/asm"
 	"misp/internal/isa"
@@ -79,9 +80,19 @@ type Machine struct {
 	stopErr error
 	halted  bool // a ring-0 HALT was executed
 
+	// evq is the fast path's indexed min-heap of per-sequencer next-event
+	// times; evqDirty forces a full rebuild after a kernel entry (the
+	// kernel may mutate any sequencer's state behind the heap's back).
+	evq      eventHeap
+	evqDirty bool
+
 	// mx holds pre-resolved metric handles so hot paths pay a plain
 	// increment, never a registry lookup.
 	mx machMetrics
+	// cycLimit is Cfg.MaxCycles normalised for the hot loop: noEvent when
+	// unlimited, so the per-instruction guard is one unsigned compare.
+	cycLimit uint64
+
 	// prof mirrors Obs.Prof (nil when profiling is off) for the
 	// interpreter's hot path.
 	prof *obs.Profile
@@ -101,17 +112,17 @@ type machMetrics struct {
 
 func newMachMetrics(r *obs.Registry) machMetrics {
 	return machMetrics{
-		omsSyscalls:         r.Counter(obs.MOMSSyscalls),
-		omsPageFaults:       r.Counter(obs.MOMSPageFaults),
-		omsTimers:           r.Counter(obs.MOMSTimers),
-		omsInterrupts:       r.Counter(obs.MOMSInterrupts),
-		omsProxied:          r.Counter(obs.MOMSProxied),
-		amsProxySyscalls:    r.Counter(obs.MAMSProxySyscalls),
-		amsProxyPageFaults:  r.Counter(obs.MAMSProxyPageFaults),
-		privCycles:          r.Counter(obs.MCyclesPriv),
-		signalLatency:       r.Histogram(obs.MSignalLatency),
-		proxyRTT:            r.Histogram(obs.MProxyRTT),
-		ringStall:           r.Histogram(obs.MRingStall),
+		omsSyscalls:        r.Counter(obs.MOMSSyscalls),
+		omsPageFaults:      r.Counter(obs.MOMSPageFaults),
+		omsTimers:          r.Counter(obs.MOMSTimers),
+		omsInterrupts:      r.Counter(obs.MOMSInterrupts),
+		omsProxied:         r.Counter(obs.MOMSProxied),
+		amsProxySyscalls:   r.Counter(obs.MAMSProxySyscalls),
+		amsProxyPageFaults: r.Counter(obs.MAMSProxyPageFaults),
+		privCycles:         r.Counter(obs.MCyclesPriv),
+		signalLatency:      r.Histogram(obs.MSignalLatency),
+		proxyRTT:           r.Histogram(obs.MProxyRTT),
+		ringStall:          r.Histogram(obs.MRingStall),
 	}
 }
 
@@ -159,6 +170,7 @@ func New(cfg Config) (*Machine, error) {
 		}
 		m.Procs = append(m.Procs, proc)
 	}
+	m.evq.init(m)
 	return m, nil
 }
 
@@ -194,6 +206,16 @@ func (m *Machine) Run() error {
 		return fmt.Errorf("core: Run without an OS attached")
 	}
 	defer m.FinalizeMetrics()
+	if m.Cfg.LegacyLoop {
+		return m.runLegacy()
+	}
+	return m.runFast()
+}
+
+// runLegacy is the original one-instruction-per-iteration loop: a full
+// O(#sequencers) scan selects the earliest event before every commit.
+// Kept as the difftest oracle for the fast path.
+func (m *Machine) runLegacy() error {
 	for m.stopErr == nil && !m.halted && !m.os.Done() {
 		s := m.pickNext()
 		if s == nil {
@@ -205,6 +227,212 @@ func (m *Machine) Run() error {
 		m.step(s)
 	}
 	return m.stopErr
+}
+
+// runFast is the discrete-event fast path: the indexed min-heap replaces
+// the per-instruction scan, and the chosen sequencer runs a batch of
+// instructions up to the event horizon (the second-earliest event time).
+// Bit-identical to runLegacy — see DESIGN.md "Execution loop" and the
+// loop-equivalence difftests.
+func (m *Machine) runFast() error {
+	batch := m.Cfg.BatchInstrs
+	if batch <= 0 {
+		batch = DefaultBatchInstrs
+	}
+	m.cycLimit = noEvent
+	if m.Cfg.MaxCycles > 0 {
+		m.cycLimit = m.Cfg.MaxCycles
+	}
+	// os.Done() can flip only inside a kernel entry, and every kernel
+	// entry sets evqDirty — so the interface call is needed only when the
+	// heap is rebuilt, not per batch. evqDirty starts true to cover the
+	// initial rebuild and Done check.
+	m.evqDirty = true
+	for m.stopErr == nil && !m.halted {
+		if m.evqDirty {
+			if m.os.Done() {
+				break
+			}
+			m.evq.rebuild()
+			m.evqDirty = false
+		}
+		s, hT, hID := m.evq.top()
+		if s == nil {
+			return fmt.Errorf("core: deadlock — no runnable sequencer and no pending event (cycle %d)", m.MaxClock())
+		}
+		if s.State == StateIdle {
+			if m.Cfg.MaxCycles > 0 && s.Clock > m.Cfg.MaxCycles {
+				return fmt.Errorf("core: cycle limit %d exceeded", m.Cfg.MaxCycles)
+			}
+			m.wakeIdle(s)
+			if !m.evqDirty {
+				m.evq.update(s)
+			}
+			continue
+		}
+		if hT == s.Clock && m.evq.scan {
+			// Lockstep regime: at least two sequencers share the minimum
+			// event time, so selection degenerates to a rotation. Run the
+			// whole tied cohort on one scan instead of re-scanning per batch.
+			if err := m.runRound(s, hT, batch); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := m.runBatch(s, hT, hID, batch); err != nil {
+			return err
+		}
+		if !m.evqDirty {
+			m.evq.update(s)
+		}
+	}
+	return m.stopErr
+}
+
+// runRound batches every sequencer whose next-event time equals the
+// current minimum T, in ID order — exactly the order the legacy loop
+// visits a tied cohort. Each member runs with horizon (T, MaxInt), i.e.
+// until its clock strictly passes T; since every retired instruction
+// costs at least one cycle, a clean batch always exits past T, so the
+// remaining tied members still hold the machine-wide minimum when their
+// turn comes. Any batch with a cross-sequencer effect (fault, delivery,
+// break op — reported by runBatch's clean flag — or a kernel entry
+// flagging evqDirty) aborts the round so selection restarts from a
+// fresh scan.
+func (m *Machine) runRound(s *Sequencer, T uint64, batch int) error {
+	h := &m.evq
+	for i := int(h.pos[s.ID]); i < len(h.ent); i++ {
+		e := &h.ent[i]
+		if e.key != T {
+			continue
+		}
+		if e.s.State != StateRunning {
+			// An idle/parked member needs its wake path; hand back to the
+			// selection loop (the advanced members sit past T, so this
+			// member is now the minimum).
+			return nil
+		}
+		clean, err := m.runBatch(e.s, T, math.MaxInt, batch)
+		if err != nil {
+			return err
+		}
+		if m.evqDirty {
+			return nil
+		}
+		if !clean {
+			h.update(e.s)
+			return nil
+		}
+		// A clean batch leaves the member running (state changes ride on
+		// faults, break ops, or deliveries), so its key is just its clock.
+		e.key = e.s.Clock
+	}
+	return nil
+}
+
+// runBatch advances running sequencer s for up to max instructions.
+// While s's clock stays below the event horizon (hT, with hID breaking
+// ties by sequencer ID), s provably remains the machine's earliest
+// event, so instructions can commit back to back without re-selecting.
+// Any instruction that can create an event for another sequencer —
+// SIGNAL, PROXYEXEC, MOVTCR, HLT/HALT, SRET, SETYIELD, or any trap —
+// ends the batch so the heap is refreshed.
+//
+// The clean result reports that the batch had no effect outside s
+// itself: it stopped only on the horizon, the delivery threshold, or
+// the batch size cap, with every retired instruction a plain
+// non-breaking one. runRound relies on this to keep a tied cohort
+// running without re-selection.
+func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean bool, err error) {
+	if s.Clock > m.cycLimit {
+		return false, fmt.Errorf("core: cycle limit %d exceeded", m.Cfg.MaxCycles)
+	}
+	if s.State != StateRunning {
+		return false, nil
+	}
+	// evT is the earliest time an event (timer, proxy request, ingress
+	// signal) becomes deliverable to s. Every input feeding it is written
+	// only by other sequencers, by the kernel, or by batch-breaking
+	// instructions — none of which can run mid-batch — so it is a batch
+	// constant: one comparison per instruction replaces the legacy loop's
+	// three delivery probes. The same invariance covers stopErr, halted,
+	// os.Done(), and s.State: each changes only on a path that already
+	// ends the batch (a fault, a break op, or a kernel entry).
+	evT := m.nextDeliveryTime(s)
+	if s.Clock >= evT {
+		// An event is due now; deliver in the legacy loop's order.
+		if s.IsOMS && s.TimerDeadline != 0 && s.Clock >= s.TimerDeadline {
+			trap := isa.TrapTimer
+			if s.RescheduleIPI {
+				trap = isa.TrapInterrupt
+				s.RescheduleIPI = false
+			}
+			m.kernelTrap(s, trap, 0)
+			return false, nil
+		}
+		if s.IsOMS && m.deliverProxy(s) {
+			return false, nil
+		}
+		if m.deliverSignalRunning(s) {
+			return false, nil
+		}
+		// Unreachable: each evT component mirrors its delivery's guard.
+		return false, nil
+	}
+	limit := m.cycLimit
+	prof := m.prof
+	for n := 0; n < max; n++ {
+		if s.Clock > hT || (s.Clock == hT && hID < s.ID) {
+			return true, nil
+		}
+		if s.Clock >= evT {
+			return true, nil
+		}
+		if s.Clock > limit {
+			return false, fmt.Errorf("core: cycle limit %d exceeded", m.Cfg.MaxCycles)
+		}
+		pc, c0 := s.PC, s.Clock
+		// Fetch, window check inlined (see fetchSlow): a hit costs a few
+		// compares and an array read — no call, no translation, no decode.
+		var in isa.Instr
+		var f *fault
+		off := pc - s.winVA
+		idx := off >> 3
+		if off < mem.PageSize && off&7 == 0 && s.winGen != nil &&
+			*s.winGen == s.decGen && s.decMask[idx>>6]>>(idx&63)&1 != 0 {
+			in = s.decPage[idx]
+		} else if in, f = m.fetchSlow(s); f != nil {
+			if prof != nil {
+				prof.Add(pc, s.Clock-c0)
+			}
+			m.dispatchFault(s, f)
+			return false, nil
+		}
+		brk := batchBreak(in.Op)
+		f = m.execInstr(s, in)
+		if prof != nil {
+			prof.Add(pc, s.Clock-c0)
+		}
+		if f != nil {
+			m.dispatchFault(s, f)
+			return false, nil
+		}
+		if brk {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// batchBreak reports whether op can create or reorder events on another
+// sequencer (or stop the machine) and must therefore end the batch.
+func batchBreak(op isa.Op) bool {
+	switch op {
+	case isa.OpSignal, isa.OpProxyexec, isa.OpMovtcr, isa.OpHlt,
+		isa.OpHalt, isa.OpSret, isa.OpSetyield:
+		return true
+	}
+	return false
 }
 
 // FinalizeMetrics publishes the end-of-run cycle attribution to the
@@ -264,6 +492,32 @@ func (m *Machine) Report() RunReport {
 	}
 }
 
+// nextDeliveryTime returns the earliest time a timer interrupt, proxy
+// request, or ingress signal becomes deliverable to running sequencer
+// s, or noEvent. Each component mirrors the guard of its delivery path
+// (kernelTrap, deliverProxy, deliverSignalRunning).
+func (m *Machine) nextDeliveryTime(s *Sequencer) uint64 {
+	evT := noEvent
+	if s.IsOMS {
+		if s.TimerDeadline != 0 {
+			evT = s.TimerDeadline
+		}
+		if !s.InHandler && s.Yield[isa.ScenarioProxy] != 0 {
+			for _, r := range m.Procs[s.ProcID].PendingProxy {
+				if r.TS < evT {
+					evT = r.TS
+				}
+			}
+		}
+	}
+	if !s.InHandler && s.Yield[isa.ScenarioSignal] != 0 && len(s.pending) > 0 {
+		if p, i := s.nextPending(); i >= 0 && p.TS < evT {
+			evT = p.TS
+		}
+	}
+	return evT
+}
+
 // nextEventTime returns the next time s can make progress, or ok=false
 // if s is not self-wakeable (parked states are woken by OMS actions).
 func (m *Machine) nextEventTime(s *Sequencer) (uint64, bool) {
@@ -276,8 +530,16 @@ func (m *Machine) nextEventTime(s *Sequencer) (uint64, bool) {
 		if p, i := s.nextPending(); i >= 0 {
 			t, ok = p.TS, true
 		}
-		if s.IsOMS && s.TimerDeadline != 0 && (!ok || s.TimerDeadline < t) {
-			t, ok = s.TimerDeadline, true
+		if s.IsOMS {
+			if s.TimerDeadline != 0 && (!ok || s.TimerDeadline < t) {
+				t, ok = s.TimerDeadline, true
+			}
+			// A pending proxy request must wake an idle OMS even with no
+			// timer armed (§2.5): the AMS is parked in StateWaitProxy and
+			// only the OMS can unpark it.
+			if pt, pok := m.earliestProxy(s); pok && (!ok || pt < t) {
+				t, ok = pt, true
+			}
 		}
 		if ok && t < s.Clock {
 			t = s.Clock
@@ -286,6 +548,23 @@ func (m *Machine) nextEventTime(s *Sequencer) (uint64, bool) {
 	default:
 		return 0, false
 	}
+}
+
+// earliestProxy returns the earliest pending proxy-request timestamp
+// that OMS s could deliver, or ok=false if none is deliverable (no
+// requests, handler already running, or no proxy handler registered).
+func (m *Machine) earliestProxy(s *Sequencer) (uint64, bool) {
+	if s.InHandler || s.Yield[isa.ScenarioProxy] == 0 {
+		return 0, false
+	}
+	var t uint64
+	ok := false
+	for _, r := range m.Procs[s.ProcID].PendingProxy {
+		if !ok || r.TS < t {
+			t, ok = r.TS, true
+		}
+	}
+	return t, ok
 }
 
 // pickNext selects the sequencer with the earliest next event.
@@ -356,6 +635,13 @@ func (m *Machine) wakeIdle(s *Sequencer) {
 			s.RescheduleIPI = false
 		}
 		m.kernelTrap(s, trap, 0)
+		return
+	}
+	// Pending proxy request: resume the OMS (it idled via HLT, so its
+	// saved PC is the instruction after it) and deliver into the proxy
+	// handler.
+	if s.IsOMS && m.deliverProxy(s) {
+		s.State = StateRunning
 	}
 }
 
@@ -449,12 +735,16 @@ func (m *Machine) sret(s *Sequencer) {
 	m.emit(s.Clock, s.ID, EvSret, 0, 0)
 }
 
-// StepOnce advances the machine by a single event (test hook).
+// StepOnce advances the machine by a single event (test hook). It uses
+// the legacy selection path and leaves the event heap stale; a
+// subsequent Run rebuilds it.
 func (m *Machine) StepOnce() error {
 	s := m.pickNext()
 	if s == nil {
 		return fmt.Errorf("core: no runnable sequencer")
 	}
 	m.step(s)
+	m.evqDirty = true
 	return m.stopErr
 }
+

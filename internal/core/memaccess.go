@@ -14,20 +14,26 @@ type fault struct {
 	info uint64
 }
 
-// Page-fault info encoding: low 32 bits = faulting VA, plus access bits.
+// Page-fault info encoding: bits 0–61 carry the faulting VA, bit 62
+// marks a fetch access and bit 63 a write. Virtual addresses at or
+// above 2^62 cannot be encoded and raise #GP instead (vaEncodeLimit);
+// every architecturally reachable VA fits.
 const (
 	PFWrite uint64 = 1 << 63
 	PFFetch uint64 = 1 << 62
+
+	pfAddrMask    = PFFetch - 1
+	vaEncodeLimit = uint64(1) << 62
 )
 
 // PFAddr extracts the faulting virtual address from trap info.
-func PFAddr(info uint64) uint64 { return info & 0xFFFF_FFFF }
+func PFAddr(info uint64) uint64 { return info & pfAddrMask }
 
 // PFIsWrite reports whether the faulting access was a write.
 func PFIsWrite(info uint64) bool { return info&PFWrite != 0 }
 
 func pfFault(va uint64, write, fetch bool) *fault {
-	info := va & 0xFFFF_FFFF
+	info := va & pfAddrMask
 	if write {
 		info |= PFWrite
 	}
@@ -46,6 +52,12 @@ func (m *Machine) translate(s *Sequencer, va uint64, write bool) (uint64, *fault
 			return 0, &fault{trap: isa.TrapGP, info: va}
 		}
 		return va, nil
+	}
+	if va >= vaEncodeLimit {
+		// The VA cannot be represented in the page-fault info encoding
+		// (it would alias the access bits); treat it as a #GP, like a
+		// non-canonical address.
+		return 0, &fault{trap: isa.TrapGP, info: va}
 	}
 	if pfn, ok := s.TLB.Lookup(va, write); ok {
 		return uint64(pfn)<<mem.PageShift | va&mem.PageMask, nil
@@ -78,12 +90,23 @@ func (m *Machine) loadN(s *Sequencer, va uint64, size uint) (uint64, *fault) {
 			return m.Phys.ReadU64(pa), nil
 		}
 	}
-	// Page-straddling access: byte at a time.
+	// Page-straddling access: translate both pages up front (so the
+	// fault, if any, reports the correct page), then read.
+	second := (va | uint64(mem.PageMask)) + 1
+	pa0, f := m.translate(s, va, false)
+	if f != nil {
+		return 0, f
+	}
+	pa1, f := m.translate(s, second, false)
+	if f != nil {
+		return 0, f
+	}
+	n0 := uint(second - va)
 	var v uint64
 	for i := uint(0); i < size; i++ {
-		pa, f := m.translate(s, va+uint64(i), false)
-		if f != nil {
-			return 0, f
+		pa := pa0 + uint64(i)
+		if i >= n0 {
+			pa = pa1 + uint64(i-n0)
 		}
 		v |= uint64(m.Phys.ReadU8(pa)) << (8 * i)
 	}
@@ -109,28 +132,46 @@ func (m *Machine) storeN(s *Sequencer, va uint64, size uint, v uint64) *fault {
 		}
 		return nil
 	}
+	// Page-straddling store: translate BOTH pages before writing any
+	// byte, so a fault on the second page reports that page's VA and
+	// leaves no partial store visible on the first.
+	second := (va | uint64(mem.PageMask)) + 1
+	pa0, f := m.translate(s, va, true)
+	if f != nil {
+		return f
+	}
+	pa1, f := m.translate(s, second, true)
+	if f != nil {
+		return f
+	}
+	n0 := uint(second - va)
 	for i := uint(0); i < size; i++ {
-		pa, f := m.translate(s, va+uint64(i), true)
-		if f != nil {
-			return f
+		pa := pa0 + uint64(i)
+		if i >= n0 {
+			pa = pa1 + uint64(i-n0)
 		}
 		m.Phys.WriteU8(pa, uint8(v>>(8*i)))
 	}
 	return nil
 }
 
-// fetch reads the instruction word at s.PC through the per-sequencer
-// fetch micro-cache.
-func (m *Machine) fetch(s *Sequencer) (isa.Instr, *fault) {
+// fetch reads the instruction at s.PC through the per-sequencer fetch
+// micro-cache and the decoded-instruction page cache. A fetch that hits
+// both caches costs two compares and an array read — no translation, no
+// physical read, no decode.
+func (m *Machine) fetchTranslate(s *Sequencer) (uint64, *fault) {
 	pc := s.PC
 	if pc%isa.WordSize != 0 {
-		return isa.Instr{}, &fault{trap: isa.TrapBadInstr, info: pc}
+		return 0, &fault{trap: isa.TrapBadInstr, info: pc}
 	}
 	if s.CRs[isa.CR0]&isa.CR0Paging == 0 {
 		if !m.Phys.InRange(pc, isa.WordSize) {
-			return isa.Instr{}, &fault{trap: isa.TrapGP, info: pc}
+			return 0, &fault{trap: isa.TrapGP, info: pc}
 		}
-		return isa.Decode(m.Phys.ReadU64(pc)), nil
+		return pc &^ uint64(mem.PageMask), nil
+	}
+	if pc >= vaEncodeLimit {
+		return 0, &fault{trap: isa.TrapGP, info: pc}
 	}
 	vpn := pc >> mem.PageShift
 	if s.fetchVPN != vpn+1 {
@@ -141,14 +182,55 @@ func (m *Machine) fetch(s *Sequencer) (isa.Instr, *fault) {
 			s.Clock += m.Cfg.WalkCost
 			pte, k := mem.Walk(m.Phys, s.CRs[isa.CR3], pc, false, s.Ring == isa.Ring3)
 			if k != mem.FaultNone {
-				return isa.Instr{}, pfFault(pc, false, true)
+				return 0, pfFault(pc, false, true)
 			}
 			s.TLB.Insert(pc, mem.PTEFrame(pte), pte&mem.PTEWritable != 0)
 			s.fetchVPN = vpn + 1
 			s.fetchBase = uint64(mem.PTEFrame(pte)) << mem.PageShift
 		}
 	}
-	return isa.Decode(m.Phys.ReadU64(s.fetchBase | pc&mem.PageMask)), nil
+	return s.fetchBase, nil
+}
+
+// fetchSlow is the fast path's cached fetch off the hot path: it
+// translates, (re)validates the decode cache, decodes the missing
+// slot, and re-points the fetch window at the result. The window hit —
+// same virtual page as the last fetch, slot already decoded, no
+// intervening store — is checked inline by runBatch and never gets
+// here. The decoded view is keyed on the physical page and its store
+// generation, so a store into the page (any sequencer, or DMA-ish
+// kernel copies) bumps the generation and drops it.
+func (m *Machine) fetchSlow(s *Sequencer) (isa.Instr, *fault) {
+	base, f := m.fetchTranslate(s)
+	if f != nil {
+		return isa.Instr{}, f
+	}
+	pc := s.PC
+	if gen := m.Phys.Gen(base); s.decBase != base+1 || s.decGen != gen {
+		s.decBase = base + 1
+		s.decGen = gen
+		s.decMask = [len(s.decMask)]uint64{}
+	}
+	idx := (pc & mem.PageMask) / isa.WordSize
+	w, bit := idx/64, uint64(1)<<(idx%64)
+	if s.decMask[w]&bit == 0 {
+		s.decPage[idx] = isa.Decode(m.Phys.ReadU64(base | pc&mem.PageMask))
+		s.decMask[w] |= bit
+	}
+	s.winVA = pc &^ uint64(mem.PageMask)
+	s.winGen = m.Phys.GenPtr(base)
+	return s.decPage[idx], nil
+}
+
+// fetchUncached is the seed interpreter's fetch — decode from memory on
+// every instruction. The legacy loop keeps it so the decode page cache
+// stays attributed to (and benchmarked as part of) the fast path.
+func (m *Machine) fetchUncached(s *Sequencer) (isa.Instr, *fault) {
+	base, f := m.fetchTranslate(s)
+	if f != nil {
+		return isa.Instr{}, f
+	}
+	return isa.Decode(m.Phys.ReadU64(base | s.PC&mem.PageMask)), nil
 }
 
 // writeCtxFrame spills s's architectural context to the frame at va

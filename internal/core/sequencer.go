@@ -114,6 +114,27 @@ type Sequencer struct {
 	fetchVPN  uint64 // vpn+1; 0 invalid
 	fetchBase uint64 // physical base of that page
 
+	// Decoded-instruction page cache over the fetch micro-cache: decPage
+	// holds the decoded instructions of the physical code page at
+	// decBase-1, decoded lazily slot by slot (decMask tracks which).
+	// decGen snapshots the page's store generation (mem.Phys.Gen) at
+	// cache fill; a store into the page bumps the generation and
+	// invalidates the decoded view, so self- and cross-sequencer code
+	// modification is observed exactly.
+	decBase uint64 // physical page base + 1; 0 invalid
+	decGen  uint32
+	decMask [mem.PageSize / isa.WordSize / 64]uint64
+	decPage [mem.PageSize / isa.WordSize]isa.Instr
+
+	// Fetch window over the decode cache: when winGen is non-nil, winVA
+	// is the virtual base of the cached page and winGen points at its
+	// physical frame's store-generation counter, so the common fetch
+	// (same page, slot decoded, no intervening store) is a handful of
+	// inlined compares — no calls. The slow path re-points the window on
+	// every successful fetch; translation invalidation nils winGen.
+	winVA  uint64
+	winGen *uint32
+
 	// YIELD-CONDITIONAL scenario table: handler addresses (0 = none).
 	Yield [isa.NumScenarios]uint64
 	// InHandler marks execution inside a yield/proxy handler; further
@@ -178,10 +199,13 @@ func (s *Sequencer) RestoreCtx(c CtxSnap) {
 	s.Regs, s.FRegs, s.PC, s.TP = c.Regs, c.FRegs, c.PC, c.TP
 }
 
-// flushTranslation drops all cached translations (TLB + fetch cache).
+// flushTranslation drops all cached translations (TLB + fetch cache +
+// decoded-instruction cache).
 func (s *Sequencer) flushTranslation() {
 	s.TLB.Flush()
 	s.fetchVPN = 0
+	s.decBase = 0
+	s.winGen = nil
 }
 
 // queueSignal enqueues an ingress continuation sent at sent, visible at

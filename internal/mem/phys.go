@@ -28,6 +28,12 @@ type Phys struct {
 	data      []byte
 	free      []uint32 // free frame stack (frame numbers)
 	numFrames uint32
+
+	// gens holds one store-generation counter per frame, bumped on every
+	// write into the frame. Consumers that cache derived views of a page
+	// (the per-sequencer decoded-instruction cache) snapshot the counter
+	// and revalidate against it instead of observing individual stores.
+	gens []uint32
 }
 
 // NewPhys creates a physical memory of the given size, which must be a
@@ -42,6 +48,7 @@ func NewPhys(size uint64) (*Phys, error) {
 		data:      make([]byte, size),
 		numFrames: n,
 		free:      make([]uint32, 0, n-1),
+		gens:      make([]uint32, n),
 	}
 	// Push frames in reverse so allocation order is ascending.
 	for f := n - 1; f >= 1; f-- {
@@ -65,6 +72,7 @@ func (p *Phys) AllocFrame() (uint32, error) {
 	p.free = p.free[:len(p.free)-1]
 	base := uint64(f) << PageShift
 	clear(p.data[base : base+PageSize])
+	p.gens[f]++
 	return f, nil
 }
 
@@ -81,36 +89,67 @@ func (p *Phys) InRange(pa, n uint64) bool {
 	return pa < uint64(len(p.data)) && n <= uint64(len(p.data))-pa
 }
 
-// Frame returns the byte slice of one whole frame.
+// Frame returns the byte slice of one whole frame. The slice is
+// mutable, so the frame's store generation is bumped conservatively.
 func (p *Phys) Frame(f uint32) []byte {
+	p.gens[f]++
 	base := uint64(f) << PageShift
 	return p.data[base : base+PageSize]
 }
 
-// Bytes returns the slice [pa, pa+n). The caller must ensure the range
-// is valid (typically via a prior translation) and page-local.
+// Bytes returns the slice [pa, pa+n) for READ access. The caller must
+// ensure the range is valid (typically via a prior translation) and
+// page-local. Writers must use BytesRW so the page generation advances.
 func (p *Phys) Bytes(pa, n uint64) []byte { return p.data[pa : pa+n] }
+
+// BytesRW returns the slice [pa, pa+n) for write access, bumping the
+// store generation of every page the range touches.
+func (p *Phys) BytesRW(pa, n uint64) []byte {
+	for f := pa >> PageShift; f <= (pa+n-1)>>PageShift; f++ {
+		p.gens[f]++
+	}
+	return p.data[pa : pa+n]
+}
+
+// Gen returns the store-generation counter of the page containing pa.
+func (p *Phys) Gen(pa uint64) uint32 { return p.gens[pa>>PageShift] }
+
+// GenPtr returns a stable pointer to that counter, letting a cache
+// watch the page for stores with a single load instead of a call.
+func (p *Phys) GenPtr(pa uint64) *uint32 { return &p.gens[pa>>PageShift] }
 
 // ReadU8 reads one byte of physical memory.
 func (p *Phys) ReadU8(pa uint64) uint8 { return p.data[pa] }
 
 // WriteU8 writes one byte of physical memory.
-func (p *Phys) WriteU8(pa uint64, v uint8) { p.data[pa] = v }
+func (p *Phys) WriteU8(pa uint64, v uint8) {
+	p.gens[pa>>PageShift]++
+	p.data[pa] = v
+}
 
 // ReadU16 reads a little-endian uint16.
 func (p *Phys) ReadU16(pa uint64) uint16 { return binary.LittleEndian.Uint16(p.data[pa:]) }
 
 // WriteU16 writes a little-endian uint16.
-func (p *Phys) WriteU16(pa uint64, v uint16) { binary.LittleEndian.PutUint16(p.data[pa:], v) }
+func (p *Phys) WriteU16(pa uint64, v uint16) {
+	p.gens[pa>>PageShift]++
+	binary.LittleEndian.PutUint16(p.data[pa:], v)
+}
 
 // ReadU32 reads a little-endian uint32.
 func (p *Phys) ReadU32(pa uint64) uint32 { return binary.LittleEndian.Uint32(p.data[pa:]) }
 
 // WriteU32 writes a little-endian uint32.
-func (p *Phys) WriteU32(pa uint64, v uint32) { binary.LittleEndian.PutUint32(p.data[pa:], v) }
+func (p *Phys) WriteU32(pa uint64, v uint32) {
+	p.gens[pa>>PageShift]++
+	binary.LittleEndian.PutUint32(p.data[pa:], v)
+}
 
 // ReadU64 reads a little-endian uint64.
 func (p *Phys) ReadU64(pa uint64) uint64 { return binary.LittleEndian.Uint64(p.data[pa:]) }
 
 // WriteU64 writes a little-endian uint64.
-func (p *Phys) WriteU64(pa uint64, v uint64) { binary.LittleEndian.PutUint64(p.data[pa:], v) }
+func (p *Phys) WriteU64(pa uint64, v uint64) {
+	p.gens[pa>>PageShift]++
+	binary.LittleEndian.PutUint64(p.data[pa:], v)
+}

@@ -193,7 +193,7 @@ func (s *Space) WriteBytes(va uint64, data []byte) error {
 		if chunk > len(data) {
 			chunk = len(data)
 		}
-		copy(s.Phys.Bytes(pa, uint64(chunk)), data[:chunk])
+		copy(s.Phys.BytesRW(pa, uint64(chunk)), data[:chunk])
 		va += uint64(chunk)
 		data = data[chunk:]
 	}

@@ -22,6 +22,28 @@ type RunResult struct {
 // Run executes workload w in the given runtime mode on a machine built
 // from cfg.
 func Run(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size) (*RunResult, error) {
+	pr, err := Prepare(w, mode, cfg, sz)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Run()
+}
+
+// Prepared is a machine built, booted, and loaded with a workload but
+// not yet run. Splitting Prepare from Run lets the simulator bench time
+// execution alone — machine construction clears the whole physical
+// memory and would otherwise dominate short runs.
+type Prepared struct {
+	W       *Workload
+	Mode    shredlib.Mode
+	Cfg     core.Config
+	Machine *core.Machine
+	Kernel  *kernel.Kernel
+	Proc    *kernel.Process
+}
+
+// Prepare builds the machine and spawns w's program without running it.
+func Prepare(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size) (*Prepared, error) {
 	m, err := core.New(cfg)
 	if err != nil {
 		return nil, err
@@ -32,23 +54,29 @@ func Run(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size) (*RunResult,
 	if err != nil {
 		return nil, err
 	}
-	if err := m.Run(); err != nil {
-		return nil, fmt.Errorf("workloads: %s (%s, %v): %w", w.Name, mode, cfg.Topology, err)
+	return &Prepared{W: w, Mode: mode, Cfg: cfg, Machine: m, Kernel: k, Proc: p}, nil
+}
+
+// Run executes the prepared workload to completion and collects the
+// result. It consumes the Prepared — a machine cannot be run twice.
+func (pr *Prepared) Run() (*RunResult, error) {
+	if err := pr.Machine.Run(); err != nil {
+		return nil, fmt.Errorf("workloads: %s (%s, %v): %w", pr.W.Name, pr.Mode, pr.Cfg.Topology, err)
 	}
-	if err := k.Err(); err != nil {
-		return nil, fmt.Errorf("workloads: %s (%s, %v): %w", w.Name, mode, cfg.Topology, err)
+	if err := pr.Kernel.Err(); err != nil {
+		return nil, fmt.Errorf("workloads: %s (%s, %v): %w", pr.W.Name, pr.Mode, pr.Cfg.Topology, err)
 	}
-	bits, err := p.Space.ReadU64(shredlib.ResultAddr)
+	bits, err := pr.Proc.Space.ReadU64(shredlib.ResultAddr)
 	if err != nil {
 		return nil, err
 	}
 	return &RunResult{
 		Checksum: math.Float64frombits(bits),
-		ExitCode: p.ExitCode,
-		Cycles:   p.ExitTime - p.StartTime,
-		Machine:  m,
-		Kernel:   k,
-		Proc:     p,
+		ExitCode: pr.Proc.ExitCode,
+		Cycles:   pr.Proc.ExitTime - pr.Proc.StartTime,
+		Machine:  pr.Machine,
+		Kernel:   pr.Kernel,
+		Proc:     pr.Proc,
 	}, nil
 }
 
