@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke verify bench ci benchcore
+.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,29 @@ verify: build vet race smoke
 bench:
 	$(GO) test -bench=. -benchmem
 
-# benchcore times the simulator's event-horizon fast path against the
-# legacy loop and writes BENCH_core.json (instrs/sec, cycles, allocs,
-# speedup). Size test keeps it quick enough for CI.
+# benchcore times the simulator's execution-loop variants (legacy loop,
+# fast path with and without the data window) plus the serial-vs-
+# parallel sweep, and writes BENCH_core.json (instrs/sec, cycles,
+# allocs, speedups). Size test keeps it quick enough for CI.
 benchcore:
 	$(GO) run ./cmd/mispbench -exp bench -size test -json BENCH_core.json
 
+# benchgate regenerates BENCH_core.json and gates it against the
+# committed baseline: instructions and cycles must match exactly
+# (deterministic simulation), and the host-relative speedup ratios must
+# not drop more than 20% below the baseline.
+benchgate:
+	cp BENCH_core.json /tmp/misp-bench-baseline.json
+	$(GO) run ./cmd/mispbench -exp bench -size test -json BENCH_core.json \
+		-baseline /tmp/misp-bench-baseline.json
+
+# paracheck: the experiment CSVs must be byte-identical no matter how
+# many host workers produced them (-parallel only changes wall time).
+paracheck:
+	rm -rf /tmp/misp-csv-p1 /tmp/misp-csv-pN
+	$(GO) run ./cmd/mispbench -exp table1 -size test -csv /tmp/misp-csv-p1 -parallel 1 > /dev/null
+	$(GO) run ./cmd/mispbench -exp table1 -size test -csv /tmp/misp-csv-pN -parallel 0 > /dev/null
+	diff -r /tmp/misp-csv-p1 /tmp/misp-csv-pN
+
 # ci is the full gate run by the GitHub Actions workflow.
-ci: build vet race smoke benchcore
+ci: build vet test race smoke benchgate paracheck

@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
 	"misp/internal/core"
+	"misp/internal/exp"
 	"misp/internal/shredlib"
+	"misp/internal/sweep"
 	"misp/internal/workloads"
 )
 
@@ -36,7 +39,24 @@ type benchResult struct {
 	LegacyInstrsPerSec float64 `json:"legacy_instrs_per_sec"`
 	LegacyAllocs       uint64  `json:"legacy_allocs"`
 
-	Speedup float64 `json:"speedup"`
+	// Fast path without the data window cache (Config.NoDataWindow):
+	// isolates the data-side fast path's contribution.
+	NoDWWallSeconds  float64 `json:"nodw_wall_seconds"`
+	NoDWInstrsPerSec float64 `json:"nodw_instrs_per_sec"`
+
+	Speedup   float64 `json:"speedup"`    // fast vs legacy loop
+	DWSpeedup float64 `json:"dw_speedup"` // fast vs fast-without-data-window
+
+	// Host-parallel sweep prong: the same mini-evaluation (benchApps x
+	// {1P, MISP, SMP}) run serially and with all host cores, difftested
+	// identical. Wall times are host-dependent; the result equality is
+	// not.
+	SweepRuns            int     `json:"sweep_runs"`
+	SweepWorkers         int     `json:"sweep_workers"`
+	SweepSerialSeconds   float64 `json:"sweep_serial_seconds"`
+	SweepParallelSeconds float64 `json:"sweep_parallel_seconds"`
+	SweepSpeedup         float64 `json:"sweep_speedup"`
+	SweepUtilization     float64 `json:"sweep_utilization"`
 }
 
 // benchReps is the repetition count per (workload, loop): the reported
@@ -52,17 +72,17 @@ func benchReps(size workloads.Size) int {
 	return 1
 }
 
-// benchLoop runs the bench workloads under one run-loop implementation
-// and returns (instructions retired, simulated cycles, wall time,
-// heap allocations). Only Machine.Run is timed — machine construction
-// (a 128 MiB memory clear) and result verification happen outside the
-// clock, and each rep runs on a freshly prepared machine with the best
-// rep reported.
-func benchLoop(size workloads.Size, seqs int, legacy bool) (uint64, uint64, time.Duration, uint64, error) {
+// benchLoop runs the bench workloads under one loop variant (mut edits
+// the base config) and returns (instructions retired, simulated cycles,
+// wall time, heap allocations). Only Machine.Run is timed — machine
+// construction (a 128 MiB memory clear) and result verification happen
+// outside the clock, and each rep runs on a freshly prepared machine
+// with the best rep reported.
+func benchLoop(size workloads.Size, seqs int, mut func(*core.Config)) (uint64, uint64, time.Duration, uint64, error) {
 	top := make(core.Topology, 1)
 	top[0] = seqs - 1 // one OMS plus seqs-1 AMSs
 	cfg := workloads.DefaultConfig(top)
-	cfg.LegacyLoop = legacy
+	mut(&cfg)
 	reps := benchReps(size)
 
 	var instrs, cycles uint64
@@ -116,33 +136,89 @@ func checksumOK(got, want float64) bool {
 	return diff <= 1e-9*math.Max(math.Abs(got), math.Abs(want))
 }
 
-// runBench times the simulator's fast path against the legacy
-// one-instruction-per-iteration loop on identical workloads and writes
-// the result as JSON so CI can track the perf trajectory.
-func runBench(size workloads.Size, seqs int, jsonPath string) error {
+// benchSweep times the mini-evaluation (benchApps × {1P, MISP, SMP})
+// serially and with every host core, and difftests the two result sets
+// — the determinism the -parallel flag promises, checked on every bench
+// run.
+func benchSweep(size workloads.Size, seqs, parallel int, res *benchResult) error {
+	opt := exp.Options{Size: size, Seqs: seqs, Apps: benchApps}
+
+	// The parallel pass runs first so any heap/page-cache warmup favors
+	// the serial pass: the reported sweep speedup is conservative.
+	var stats sweep.Stats
+	opt.Parallel = parallel // 0 = all cores
+	opt.SweepStats = &stats
+	start := time.Now()
+	par, err := exp.Evaluate(opt)
+	if err != nil {
+		return err
+	}
+	parWall := time.Since(start)
+
+	opt.Parallel = 1
+	opt.SweepStats = nil
+	start = time.Now()
+	serial, err := exp.Evaluate(opt)
+	if err != nil {
+		return err
+	}
+	serialWall := time.Since(start)
+
+	if !reflect.DeepEqual(serial, par) {
+		return fmt.Errorf("bench: sweep results diverge between serial and %d-worker runs", stats.Workers)
+	}
+
+	res.SweepRuns = stats.Jobs
+	res.SweepWorkers = stats.Workers
+	res.SweepSerialSeconds = serialWall.Seconds()
+	res.SweepParallelSeconds = parWall.Seconds()
+	res.SweepSpeedup = serialWall.Seconds() / parWall.Seconds()
+	res.SweepUtilization = stats.Utilization()
+	fmt.Printf("bench: sweep  %d runs  serial %v  %d workers %v  speedup %.2fx  util %.0f%% (results identical)\n",
+		stats.Jobs, serialWall.Round(time.Millisecond), stats.Workers,
+		parWall.Round(time.Millisecond), res.SweepSpeedup, 100*res.SweepUtilization)
+	return nil
+}
+
+// runBench times the simulator's execution-loop variants (legacy loop,
+// fast path without the data window, full fast path) on identical
+// workloads plus the serial-vs-parallel sweep, and writes the result as
+// JSON so CI can track the perf trajectory. A non-empty baselinePath
+// gates the run against a committed baseline.
+func runBench(size workloads.Size, seqs, parallel int, jsonPath, baselinePath string) error {
 	reps := benchReps(size)
-	fmt.Printf("bench: %v at size %s on %d sequencers, best of %d (legacy loop)...\n",
+	variants := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"legacy", func(c *core.Config) { c.LegacyLoop = true }},
+		{"fast-nodw", func(c *core.Config) { c.NoDataWindow = true }},
+		{"fast", func(c *core.Config) {}},
+	}
+	fmt.Printf("bench: %v at size %s on %d sequencers, best of %d...\n",
 		benchApps, size, seqs, reps)
-	lInstrs, lCycles, lWall, lAllocs, err := benchLoop(size, seqs, true)
-	if err != nil {
-		return err
+	type measure struct {
+		instrs, cycles uint64
+		wall           time.Duration
+		allocs         uint64
 	}
-	fmt.Printf("bench: legacy  %12d instrs  %v  %.3g instrs/sec\n",
-		lInstrs, lWall.Round(time.Millisecond), float64(lInstrs)/lWall.Seconds())
-
-	fmt.Printf("bench: %v at size %s on %d sequencers, best of %d (fast path)...\n",
-		benchApps, size, seqs, reps)
-	fInstrs, fCycles, fWall, fAllocs, err := benchLoop(size, seqs, false)
-	if err != nil {
-		return err
+	ms := make([]measure, len(variants))
+	for i, v := range variants {
+		var m measure
+		var err error
+		m.instrs, m.cycles, m.wall, m.allocs, err = benchLoop(size, seqs, v.mut)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bench: %-10s %12d instrs  %v  %.3g instrs/sec\n",
+			v.name, m.instrs, m.wall.Round(time.Millisecond), float64(m.instrs)/m.wall.Seconds())
+		if i > 0 && (m.instrs != ms[0].instrs || m.cycles != ms[0].cycles) {
+			return fmt.Errorf("bench: %s diverges from legacy: instrs %d/%d cycles %d/%d",
+				v.name, ms[0].instrs, m.instrs, ms[0].cycles, m.cycles)
+		}
+		ms[i] = m
 	}
-	fmt.Printf("bench: fast    %12d instrs  %v  %.3g instrs/sec\n",
-		fInstrs, fWall.Round(time.Millisecond), float64(fInstrs)/fWall.Seconds())
-
-	if fInstrs != lInstrs || fCycles != lCycles {
-		return fmt.Errorf("bench: loops diverge: instrs %d/%d cycles %d/%d",
-			lInstrs, fInstrs, lCycles, fCycles)
-	}
+	legacy, nodw, fast := ms[0], ms[1], ms[2]
 
 	res := benchResult{
 		Size:      size.String(),
@@ -150,19 +226,34 @@ func runBench(size workloads.Size, seqs int, jsonPath string) error {
 		Workloads: benchApps,
 		Reps:      reps,
 
-		Instructions: fInstrs,
-		Cycles:       fCycles,
-		WallSeconds:  fWall.Seconds(),
-		InstrsPerSec: float64(fInstrs) / fWall.Seconds(),
-		Allocs:       fAllocs,
+		Instructions: fast.instrs,
+		Cycles:       fast.cycles,
+		WallSeconds:  fast.wall.Seconds(),
+		InstrsPerSec: float64(fast.instrs) / fast.wall.Seconds(),
+		Allocs:       fast.allocs,
 
-		LegacyWallSeconds:  lWall.Seconds(),
-		LegacyInstrsPerSec: float64(lInstrs) / lWall.Seconds(),
-		LegacyAllocs:       lAllocs,
+		LegacyWallSeconds:  legacy.wall.Seconds(),
+		LegacyInstrsPerSec: float64(legacy.instrs) / legacy.wall.Seconds(),
+		LegacyAllocs:       legacy.allocs,
 
-		Speedup: lWall.Seconds() / fWall.Seconds(),
+		NoDWWallSeconds:  nodw.wall.Seconds(),
+		NoDWInstrsPerSec: float64(nodw.instrs) / nodw.wall.Seconds(),
+
+		Speedup:   legacy.wall.Seconds() / fast.wall.Seconds(),
+		DWSpeedup: nodw.wall.Seconds() / fast.wall.Seconds(),
 	}
-	fmt.Printf("bench: speedup %.2fx (allocs %d -> %d)\n", res.Speedup, lAllocs, fAllocs)
+	fmt.Printf("bench: speedup %.2fx vs legacy, %.2fx from data window (allocs %d -> %d)\n",
+		res.Speedup, res.DWSpeedup, legacy.allocs, fast.allocs)
+
+	if err := benchSweep(size, seqs, parallel, &res); err != nil {
+		return err
+	}
+
+	if baselinePath != "" {
+		if err := checkBaseline(&res, baselinePath); err != nil {
+			return err
+		}
+	}
 
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(&res, "", "  ")
@@ -174,5 +265,64 @@ func runBench(size workloads.Size, seqs int, jsonPath string) error {
 		}
 		fmt.Printf("(wrote %s)\n", jsonPath)
 	}
+	return nil
+}
+
+// checkBaseline gates the fresh measurements against a committed
+// baseline:
+//
+//   - Deterministic fields (instructions, simulated cycles) must match
+//     EXACTLY when the bench configuration is the same — the simulator
+//     promises bit-identical execution, so any drift is a correctness
+//     regression, not noise.
+//   - Host-relative ratios (fast-vs-legacy speedup, data-window
+//     speedup) must not drop more than 20% below the baseline. They
+//     compare two runs on the same host, so they transfer across
+//     machines; absolute instrs/sec does not and is not gated.
+//   - Sweep wall times and speedups depend on the host's core count and
+//     are not gated.
+func checkBaseline(res *benchResult, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench: baseline: %w", err)
+	}
+	var base benchResult
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	sameConfig := base.Size == res.Size && base.Seqs == res.Seqs &&
+		reflect.DeepEqual(base.Workloads, res.Workloads)
+	if !sameConfig {
+		fmt.Printf("bench: baseline %s has different config (%s/%d seqs); skipping exact gates\n",
+			path, base.Size, base.Seqs)
+	} else {
+		if base.Instructions != res.Instructions {
+			return fmt.Errorf("bench: instructions %d != baseline %d (simulation must be bit-identical)",
+				res.Instructions, base.Instructions)
+		}
+		if base.Cycles != res.Cycles {
+			return fmt.Errorf("bench: cycles %d != baseline %d (simulation must be bit-identical)",
+				res.Cycles, base.Cycles)
+		}
+	}
+	const tolerance = 0.20
+	gates := []struct {
+		name      string
+		got, want float64
+	}{
+		{"speedup (fast vs legacy)", res.Speedup, base.Speedup},
+		{"dw_speedup (data window)", res.DWSpeedup, base.DWSpeedup},
+	}
+	for _, g := range gates {
+		if g.want == 0 {
+			continue // field absent from an older baseline schema
+		}
+		if g.got < g.want*(1-tolerance) {
+			return fmt.Errorf("bench: %s regressed: %.3f < baseline %.3f - 20%%",
+				g.name, g.got, g.want)
+		}
+		fmt.Printf("bench: gate %-28s %.3f vs baseline %.3f ok\n", g.name, g.got, g.want)
+	}
+	fmt.Printf("bench: baseline gate passed (%s)\n", path)
 	return nil
 }

@@ -5,12 +5,19 @@
 //
 //	mispbench [-exp all|fig4|table1|fig5|fig7|table2|ring|probe|signalsweep|bench]
 //	          [-size test|small|ref] [-seqs 8] [-apps a,b,c] [-csv dir]
-//	          [-json BENCH_core.json]
+//	          [-parallel N] [-json BENCH_core.json]
 //
-// `-exp bench` times the simulator itself (fast path vs legacy loop)
-// instead of reproducing a paper figure, and `-json` writes the
-// measurements (instructions/sec, cycles simulated, allocations,
-// speedup) for CI tracking.
+// `-parallel N` fans the independent simulation runs across N host
+// cores (0 = all cores). Every run is an isolated deterministic
+// machine, so the tables and CSVs are byte-identical for any N; only
+// the wall clock changes. Host-side timing goes to stdout (and the
+// bench JSON), never into the CSVs.
+//
+// `-exp bench` times the simulator itself (fast path vs legacy loop,
+// data window on vs off, serial vs parallel sweep) instead of
+// reproducing a paper figure, and `-json` writes the measurements
+// (instructions/sec, cycles simulated, allocations, speedups) for CI
+// tracking; `-baseline` gates them against a committed baseline.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 
 	"misp/internal/exp"
 	"misp/internal/report"
+	"misp/internal/sweep"
 	"misp/internal/workloads"
 )
 
@@ -33,14 +41,17 @@ func main() {
 	apps := flag.String("apps", "", "comma-separated workload subset (default: all 16)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
 	maxLoad := flag.Int("load", 4, "fig7: maximum number of competing processes")
+	parallel := flag.Int("parallel", 0, "host workers for independent simulation runs (0 = all cores, 1 = serial); results are identical for any value")
 	jsonPath := flag.String("json", "", "bench: write measurements to this JSON file (default BENCH_core.json)")
+	baseline := flag.String("baseline", "", "bench: compare against this committed baseline JSON and fail on regression")
 	flag.Parse()
 
 	size, err := parseSize(*sizeName)
 	if err != nil {
 		fatal(err)
 	}
-	opt := exp.Options{Size: size, Seqs: *seqs}
+	var stats sweep.Stats
+	opt := exp.Options{Size: size, Seqs: *seqs, Parallel: *parallel, SweepStats: &stats}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
 	}
@@ -65,8 +76,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("evaluated %d apps x 3 configs in %v (all checksums verified)\n\n",
-			len(results), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("evaluated %d apps x 3 configs in %v on %d workers (all checksums verified)\n\n",
+			len(results), time.Since(start).Round(time.Millisecond), sweep.Workers(*parallel))
 		return results
 	}
 
@@ -76,7 +87,7 @@ func main() {
 		if out == "" {
 			out = "BENCH_core.json"
 		}
-		if err := runBench(size, *seqs, out); err != nil {
+		if err := runBench(size, *seqs, *parallel, out, *baseline); err != nil {
 			fatal(err)
 		}
 		return
@@ -102,7 +113,10 @@ func main() {
 		emit("fig5", exp.Fig5Table(rows))
 	}
 	if which == "all" || which == "fig7" {
-		curves, err := exp.Fig7(exp.Fig7Options{Size: size, MaxLoad: *maxLoad})
+		curves, err := exp.Fig7(exp.Fig7Options{
+			Size: size, MaxLoad: *maxLoad,
+			Parallel: *parallel, SweepStats: &stats,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -147,6 +161,12 @@ func main() {
 			fatal(err)
 		}
 		emit("ablation_signalsweep", exp.SweepTable(rows))
+	}
+
+	// Host-side sweep accounting goes to stdout only: wall times are not
+	// deterministic, so they must never reach the CSV outputs.
+	if stats.Jobs > 0 {
+		fmt.Println(report.SweepSummary(stats).String())
 	}
 }
 

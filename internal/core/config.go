@@ -135,6 +135,10 @@ type Config struct {
 	// loop (O(#sequencers) scan per instruction). The fast path is
 	// difftested against it; results are bit-identical.
 	LegacyLoop bool
+	// NoDataWindow disables the per-sequencer data window cache on the
+	// fast loop (an ablation knob for the bench harness; the legacy loop
+	// never uses the window). Results are bit-identical either way.
+	NoDataWindow bool
 }
 
 // DefaultBatchInstrs is the fast path's inner-loop bound when

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"misp/internal/isa"
+	"misp/internal/mem"
+)
+
+// Data window cache invalidation regressions: the per-sequencer data
+// window must be a strict subset of the TLB, so every architectural
+// invalidation — CR3 write, INVLPG, TLBFLUSH — that empties the TLB
+// must also stop the window from serving stale translations. These
+// tests drive loadN/storeN directly against hand-built page tables so
+// each invalidation edge is exercised in isolation.
+
+// dwHarness is a machine with hand-rolled paging on the OMS: va maps to
+// frame f1 through table pt.
+type dwHarness struct {
+	m   *Machine
+	oms *Sequencer
+	pt  *mem.PageTable
+	va  uint64
+	f1  uint32
+}
+
+func newDWHarness(t *testing.T, flags uint32) *dwHarness {
+	t.Helper()
+	m, err := New(testCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.dwOn {
+		t.Fatal("precondition: data window must be enabled on the fast loop")
+	}
+	pt, err := mem.NewPageTable(m.Phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := m.Phys.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := uint64(0x0040_0000)
+	if err := pt.Map(va, f1, flags); err != nil {
+		t.Fatal(err)
+	}
+	oms := m.Procs[0].OMS()
+	oms.CRs[isa.CR3] = pt.RootPA()
+	oms.CRs[isa.CR0] |= isa.CR0Paging
+	return &dwHarness{m: m, oms: oms, pt: pt, va: va, f1: f1}
+}
+
+// load8 reads 8 bytes at va and fails the test on a fault.
+func (h *dwHarness) load8(t *testing.T, va uint64) uint64 {
+	t.Helper()
+	v, f := h.m.loadN(h.oms, va, 8)
+	if f != nil {
+		t.Fatalf("load at %#x faulted: %+v", va, f)
+	}
+	return v
+}
+
+// mustHitWindow asserts the next load is served by the data window:
+// the entry is resident and current, the value matches, no walk is
+// charged, and the hit counts as a TLB hit (stats identical to the
+// slow path).
+func (h *dwHarness) mustHitWindow(t *testing.T, va uint64, want uint64) {
+	t.Helper()
+	vpn := va >> mem.PageShift
+	if e := &h.oms.dw[vpn&(dwEntries-1)]; e.vpn != vpn+1 || h.oms.dwGen != h.oms.TLB.Gen {
+		t.Fatalf("page %#x not resident+current in the data window", va)
+	}
+	clock, hits := h.oms.Clock, h.oms.TLB.Hits
+	if v := h.load8(t, va); v != want {
+		t.Fatalf("window load = %#x, want %#x", v, want)
+	}
+	if h.oms.Clock != clock {
+		t.Fatalf("window hit charged %d cycles", h.oms.Clock-clock)
+	}
+	if h.oms.TLB.Hits != hits+1 {
+		t.Fatalf("window hit did not count as a TLB hit (%d -> %d)", hits, h.oms.TLB.Hits)
+	}
+}
+
+// TestDataWindowCR3Remap: after a CR3 write (MOVTCR's NotifyCRWrite
+// path), a load of the same VA must observe the NEW address space, not
+// the frame cached in the data window.
+func TestDataWindowCR3Remap(t *testing.T) {
+	h := newDWHarness(t, mem.PTEPresent|mem.PTEWritable|mem.PTEUser)
+	pt2, err := mem.NewPageTable(h.m.Phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := h.m.Phys.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pt2.Map(h.va, f2, mem.PTEPresent|mem.PTEWritable|mem.PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	h.m.Phys.WriteU64(uint64(h.f1)<<mem.PageShift, 0x1111)
+	h.m.Phys.WriteU64(uint64(f2)<<mem.PageShift, 0x2222)
+
+	if v := h.load8(t, h.va); v != 0x1111 {
+		t.Fatalf("first load = %#x, want 0x1111", v)
+	}
+	h.mustHitWindow(t, h.va, 0x1111)
+
+	// The CR3 write path: flushTranslation bumps TLB.Gen, which must
+	// invalidate the whole window in one compare.
+	h.oms.CRs[isa.CR3] = pt2.RootPA()
+	h.m.NotifyCRWrite(h.oms)
+	if v := h.load8(t, h.va); v != 0x2222 {
+		t.Fatalf("load after CR3 remap = %#x, want 0x2222 (stale data window?)", v)
+	}
+}
+
+// TestDataWindowInvlpg: INVLPG on a window-cached page must force the
+// next access back through the page walk; INVLPG on an unrelated,
+// non-resident page must NOT blow the window away (FlushPage only bumps
+// the generation when it evicts).
+func TestDataWindowInvlpg(t *testing.T) {
+	h := newDWHarness(t, mem.PTEPresent|mem.PTEWritable|mem.PTEUser)
+	h.m.Phys.WriteU64(uint64(h.f1)<<mem.PageShift, 0xABCD)
+	h.load8(t, h.va)
+
+	// INVLPG of a page that was never mapped: the TLB evicts nothing, so
+	// the window stays valid and the next load is still a window hit.
+	h.oms.TLB.FlushPage(h.va + 64*mem.PageSize)
+	h.mustHitWindow(t, h.va, 0xABCD)
+
+	// Unmap the page, then INVLPG it (the interpreter's OpInvlpg
+	// sequence). The next access must walk the table and fault — a stale
+	// window would happily keep serving the old frame.
+	h.pt.Unmap(h.va)
+	h.oms.TLB.FlushPage(h.va)
+	h.oms.fetchVPN = 0
+	h.oms.decBase = 0
+	h.oms.winGen = nil
+	if _, f := h.m.loadN(h.oms, h.va, 8); f == nil {
+		t.Fatal("load after unmap+INVLPG did not fault (stale data window?)")
+	} else if f.trap != isa.TrapPageFault {
+		t.Fatalf("trap = %v, want page fault", f.trap)
+	}
+}
+
+// TestDataWindowReadOnlyStore: a store to a page cached read-only in
+// the window must take the slow path, count a TLB permission miss
+// (Table 1's PermMiss), and fault as a write page fault.
+func TestDataWindowReadOnlyStore(t *testing.T) {
+	h := newDWHarness(t, mem.PTEPresent|mem.PTEUser) // no PTEWritable
+	h.m.Phys.WriteU64(uint64(h.f1)<<mem.PageShift, 0x55)
+	h.load8(t, h.va) // fills the window with writable=false
+	h.mustHitWindow(t, h.va, 0x55)
+
+	f := h.m.storeN(h.oms, h.va, 8, 0x66)
+	if f == nil {
+		t.Fatal("store to read-only page did not fault")
+	}
+	if f.trap != isa.TrapPageFault || !PFIsWrite(f.info) || PFAddr(f.info) != h.va {
+		t.Fatalf("fault = %+v, want write page fault at %#x", f, h.va)
+	}
+	if h.oms.TLB.PermMisses == 0 {
+		t.Fatal("permission-denied store on a resident page did not count a PermMiss")
+	}
+	// The denied store must not have modified the page.
+	if v := h.load8(t, h.va); v != 0x55 {
+		t.Fatalf("read-only page modified by faulting store: %#x", v)
+	}
+}
+
+// TestDataWindowCrossSequencerStore: the window caches an aliasing view
+// of the physical frame, so a store by one sequencer must be observed
+// by another sequencer's window hit on the same page — and must bump
+// the frame's store generation exactly as the slow path would.
+func TestDataWindowCrossSequencerStore(t *testing.T) {
+	h := newDWHarness(t, mem.PTEPresent|mem.PTEWritable|mem.PTEUser)
+	ams := h.m.Procs[0].Seqs[1]
+	ams.CRs[isa.CR3] = h.pt.RootPA()
+	ams.CRs[isa.CR0] |= isa.CR0Paging
+
+	base := uint64(h.f1) << mem.PageShift
+	h.m.Phys.WriteU64(base, 0xAAAA)
+	h.load8(t, h.va) // OMS window now caches the page
+
+	// First AMS store goes through the slow path and fills ITS window;
+	// the second is an AMS window hit. Both must be visible to the OMS
+	// and advance the store generation (the decode caches key on it).
+	gen := h.m.Phys.Gen(base)
+	if f := h.m.storeN(ams, h.va, 8, 0xBBBB); f != nil {
+		t.Fatalf("AMS store faulted: %+v", f)
+	}
+	h.mustHitWindow(t, h.va, 0xBBBB)
+	if f := h.m.storeN(ams, h.va, 8, 0xCCCC); f != nil {
+		t.Fatalf("AMS window store faulted: %+v", f)
+	}
+	h.mustHitWindow(t, h.va, 0xCCCC)
+	if got := h.m.Phys.Gen(base); got != gen+2 {
+		t.Fatalf("store generation advanced %d times, want 2 (decode caches would miss invalidations)", got-gen)
+	}
+}
+
+// TestDataWindowDisabled: with Config.NoDataWindow (and on the legacy
+// loop), loadN must never populate the window — the knob exists so the
+// bench can isolate the window's contribution and the difftests keep a
+// window-free oracle.
+func TestDataWindowDisabled(t *testing.T) {
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.NoDataWindow = true },
+		func(c *Config) { c.LegacyLoop = true },
+	} {
+		cfg := testCfg(0)
+		mut(&cfg)
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.dwOn {
+			t.Fatal("data window enabled despite NoDataWindow/LegacyLoop")
+		}
+		pt, err := mem.NewPageTable(m.Phys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1, err := m.Phys.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		va := uint64(0x0040_0000)
+		if err := pt.Map(va, f1, mem.PTEPresent|mem.PTEWritable|mem.PTEUser); err != nil {
+			t.Fatal(err)
+		}
+		oms := m.Procs[0].OMS()
+		oms.CRs[isa.CR3] = pt.RootPA()
+		oms.CRs[isa.CR0] |= isa.CR0Paging
+		if _, f := m.loadN(oms, va, 8); f != nil {
+			t.Fatalf("load faulted: %+v", f)
+		}
+		for i := range oms.dw {
+			if oms.dw[i].vpn != 0 {
+				t.Fatal("data window filled while disabled")
+			}
+		}
+	}
+}

@@ -214,7 +214,7 @@ func TestStraddleStoreFaultsOnSecondPage(t *testing.T) {
 		t.Fatal("write fault not flagged as write")
 	}
 	// No partial store: the first page's covered bytes are untouched.
-	pa, ff := m.translate(oms, va, false)
+	pa, _, ff := m.translate(oms, va, false)
 	if ff != nil {
 		t.Fatalf("first page unexpectedly unmapped: %v", ff)
 	}

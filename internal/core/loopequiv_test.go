@@ -36,39 +36,51 @@ func runLoop(t *testing.T, cfg Config, src string, legacy bool) (*BareOS, *Machi
 	return b, m
 }
 
-// checkEquiv runs src under both loops and demands bit-identical
-// machine-visible outcomes.
+// checkEquiv runs src under the legacy loop (the oracle), the fast
+// path, and the fast path with the data window cache disabled, and
+// demands bit-identical machine-visible outcomes from all three.
 func checkEquiv(t *testing.T, cfg Config, src string) {
 	t.Helper()
 	bL, mL := runLoop(t, cfg, src, true)
-	bF, mF := runLoop(t, cfg, src, false)
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"fast", func(c *Config) {}},
+		{"fast-nodw", func(c *Config) { c.NoDataWindow = true }},
+	}
+	for _, v := range variants {
+		c := cfg
+		v.mut(&c)
+		bF, mF := runLoop(t, c, src, false)
 
-	if bL.ExitCode != bF.ExitCode || bL.Out.String() != bF.Out.String() {
-		t.Fatalf("outputs diverge: exit %d/%d out %q/%q",
-			bL.ExitCode, bF.ExitCode, bL.Out.String(), bF.Out.String())
-	}
-	if mL.Steps != mF.Steps {
-		t.Fatalf("steps diverge: legacy %d fast %d", mL.Steps, mF.Steps)
-	}
-	if mL.MaxClock() != mF.MaxClock() {
-		t.Fatalf("wall clock diverges: legacy %d fast %d", mL.MaxClock(), mF.MaxClock())
-	}
-	for i := range mL.Seqs {
-		sl, sf := mL.Seqs[i], mF.Seqs[i]
-		if sl.Clock != sf.Clock {
-			t.Errorf("%s: clock %d (legacy) != %d (fast)", sl.Name(), sl.Clock, sf.Clock)
+		if bL.ExitCode != bF.ExitCode || bL.Out.String() != bF.Out.String() {
+			t.Fatalf("%s: outputs diverge: exit %d/%d out %q/%q",
+				v.name, bL.ExitCode, bF.ExitCode, bL.Out.String(), bF.Out.String())
 		}
-		if sl.C != sf.C {
-			t.Errorf("%s: counters diverge:\nlegacy %+v\nfast   %+v", sl.Name(), sl.C, sf.C)
+		if mL.Steps != mF.Steps {
+			t.Fatalf("%s: steps diverge: legacy %d fast %d", v.name, mL.Steps, mF.Steps)
 		}
-	}
-	evL, evF := mL.Trace.Events(), mF.Trace.Events()
-	if len(evL) != len(evF) {
-		t.Fatalf("event streams diverge in length: legacy %d fast %d", len(evL), len(evF))
-	}
-	for i := range evL {
-		if evL[i] != evF[i] {
-			t.Fatalf("event %d diverges:\nlegacy %+v\nfast   %+v", i, evL[i], evF[i])
+		if mL.MaxClock() != mF.MaxClock() {
+			t.Fatalf("%s: wall clock diverges: legacy %d fast %d", v.name, mL.MaxClock(), mF.MaxClock())
+		}
+		for i := range mL.Seqs {
+			sl, sf := mL.Seqs[i], mF.Seqs[i]
+			if sl.Clock != sf.Clock {
+				t.Errorf("%s: %s: clock %d (legacy) != %d (fast)", v.name, sl.Name(), sl.Clock, sf.Clock)
+			}
+			if sl.C != sf.C {
+				t.Errorf("%s: %s: counters diverge:\nlegacy %+v\nfast   %+v", v.name, sl.Name(), sl.C, sf.C)
+			}
+		}
+		evL, evF := mL.Trace.Events(), mF.Trace.Events()
+		if len(evL) != len(evF) {
+			t.Fatalf("%s: event streams diverge in length: legacy %d fast %d", v.name, len(evL), len(evF))
+		}
+		for i := range evL {
+			if evL[i] != evF[i] {
+				t.Fatalf("%s: event %d diverges:\nlegacy %+v\nfast   %+v", v.name, i, evL[i], evF[i])
+			}
 		}
 	}
 }

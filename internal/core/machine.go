@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"misp/internal/asm"
 	"misp/internal/isa"
@@ -86,6 +87,10 @@ type Machine struct {
 	evq      eventHeap
 	evqDirty bool
 
+	// dwOn enables the per-sequencer data window cache (fast loop only;
+	// see memaccess.go). Derived from Cfg in New.
+	dwOn bool
+
 	// mx holds pre-resolved metric handles so hot paths pay a plain
 	// increment, never a registry lookup.
 	mx machMetrics
@@ -99,6 +104,9 @@ type Machine struct {
 
 	// GlobalStats
 	Steps uint64 // total instructions executed
+	// Wall is the accumulated host time spent inside Run — the per-run
+	// cost the sweep harness reports alongside simulated cycles.
+	Wall time.Duration
 }
 
 // machMetrics are the machine's pre-resolved registry handles.
@@ -152,6 +160,7 @@ func New(cfg Config) (*Machine, error) {
 	})
 	m := &Machine{Cfg: cfg, Phys: phys, Obs: o, Trace: &Trace{bus: o.Bus}, prof: o.Prof}
 	m.mx = newMachMetrics(o.Metrics)
+	m.dwOn = !cfg.LegacyLoop && !cfg.NoDataWindow
 	gid := 0
 	for pid, nAMS := range cfg.Topology {
 		proc := &Processor{ID: pid}
@@ -205,7 +214,11 @@ func (m *Machine) Run() error {
 	if m.os == nil {
 		return fmt.Errorf("core: Run without an OS attached")
 	}
-	defer m.FinalizeMetrics()
+	t0 := time.Now()
+	defer func() {
+		m.Wall += time.Since(t0)
+		m.FinalizeMetrics()
+	}()
 	if m.Cfg.LegacyLoop {
 		return m.runLegacy()
 	}
@@ -471,8 +484,9 @@ func (m *Machine) FinalizeMetrics() {
 // including the event-log loss accounting that used to be visible only
 // in Trace.String().
 type RunReport struct {
-	Cycles uint64 // machine wall time (max sequencer clock)
-	Instrs uint64 // total instructions retired
+	Cycles uint64        // machine wall time (max sequencer clock)
+	Instrs uint64        // total instructions retired
+	Wall   time.Duration // host time spent in Run
 
 	TraceEnabled bool
 	TraceEvents  int    // events retained in the buffer
@@ -485,6 +499,7 @@ func (m *Machine) Report() RunReport {
 	return RunReport{
 		Cycles:       m.MaxClock(),
 		Instrs:       m.Steps,
+		Wall:         m.Wall,
 		TraceEnabled: m.Obs.Bus.Enabled(),
 		TraceEvents:  m.Obs.Bus.Len(),
 		TraceDropped: m.Obs.Bus.Dropped(),
@@ -747,4 +762,3 @@ func (m *Machine) StepOnce() error {
 	m.evqDirty = true
 	return m.stopErr
 }
-

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"math"
 
 	"misp/internal/isa"
@@ -45,39 +46,121 @@ func pfFault(va uint64, write, fetch bool) *fault {
 
 // translate resolves va for a data access on s, consulting the TLB and
 // walking the page table on a miss (charging the walk). With paging
-// disabled (CR0), addresses are physical.
-func (m *Machine) translate(s *Sequencer, va uint64, write bool) (uint64, *fault) {
+// disabled (CR0), addresses are physical. The second result is the
+// mapped page's write permission (regardless of the access type), which
+// the data window cache records at fill time; it is true with paging
+// off.
+func (m *Machine) translate(s *Sequencer, va uint64, write bool) (uint64, bool, *fault) {
 	if s.CRs[isa.CR0]&isa.CR0Paging == 0 {
 		if !m.Phys.InRange(va, 1) {
-			return 0, &fault{trap: isa.TrapGP, info: va}
+			return 0, false, &fault{trap: isa.TrapGP, info: va}
 		}
-		return va, nil
+		return va, true, nil
 	}
 	if va >= vaEncodeLimit {
 		// The VA cannot be represented in the page-fault info encoding
 		// (it would alias the access bits); treat it as a #GP, like a
 		// non-canonical address.
-		return 0, &fault{trap: isa.TrapGP, info: va}
+		return 0, false, &fault{trap: isa.TrapGP, info: va}
 	}
-	if pfn, ok := s.TLB.Lookup(va, write); ok {
-		return uint64(pfn)<<mem.PageShift | va&mem.PageMask, nil
+	if pfn, w, ok := s.TLB.Lookup(va, write); ok {
+		return uint64(pfn)<<mem.PageShift | va&mem.PageMask, w, nil
 	}
 	s.Clock += m.Cfg.WalkCost
 	pte, k := mem.Walk(m.Phys, s.CRs[isa.CR3], va, write, s.Ring == isa.Ring3)
 	if k != mem.FaultNone {
-		return 0, pfFault(va, write, false)
+		return 0, false, pfFault(va, write, false)
 	}
-	s.TLB.Insert(va, mem.PTEFrame(pte), pte&mem.PTEWritable != 0)
-	return uint64(mem.PTEFrame(pte))<<mem.PageShift | va&mem.PageMask, nil
+	w := pte&mem.PTEWritable != 0
+	s.TLB.Insert(va, mem.PTEFrame(pte), w)
+	return uint64(mem.PTEFrame(pte))<<mem.PageShift | va&mem.PageMask, w, nil
+}
+
+// Data window cache
+//
+// The common data access is page-local to a recently used page whose
+// translation is still in the TLB. The TLB path for that access costs a
+// Lookup call, a PA reassembly, and a Phys read/write call; the data
+// window collapses it to two compares and an array index, mirroring the
+// fetch window's trick on the data side.
+//
+// Correctness rests on the window being a strict subset of the TLB:
+// every entry is filled from a successful translate (so the translation
+// was TLB-resident with the recorded frame and write permission), and
+// dwGen snapshots TLB.Gen at fill. Any TLB mutation — Insert, Flush, an
+// evicting FlushPage — bumps Gen, which invalidates the whole window in
+// one compare. A window hit is therefore exactly a TLB hit: same
+// physical bytes (the page slice aliases the frame), same write
+// permission, zero cycle charge, and the same Hits count. Everything
+// else — straddles, faults, permission denials, paging off, huge VAs
+// (whose VPNs can never equal a filled entry's, since fills reject
+// va >= vaEncodeLimit) — misses the window and takes the unchanged slow
+// path. Stores bump the frame's store generation through the cached
+// pointer just as Phys.Write* would, so decode caches observe
+// cross-sequencer code modification exactly as before.
+//
+// The window is enabled only on the fast loop (m.dwOn), keeping the
+// legacy loop a pristine oracle for the equivalence difftests.
+
+const dwEntries = 16
+
+// dwEntry caches one page translation: VPN, the frame's byte view, its
+// store-generation counter, and the page's write permission.
+type dwEntry struct {
+	vpn      uint64 // vpn+1; 0 invalid
+	page     []byte // the frame's bytes (aliases Phys memory)
+	gen      *uint32
+	writable bool
+}
+
+// dwFill records a just-translated page in the window. Must only be
+// called with paging enabled, right after a successful translate (so
+// the translation is TLB-resident).
+func (s *Sequencer) dwFill(p *mem.Phys, va, pa uint64, writable bool) {
+	if s.dwGen != s.TLB.Gen {
+		// Stale snapshot: every resident entry predates some TLB
+		// mutation. Drop them before revalidating the window.
+		s.dw = [dwEntries]dwEntry{}
+		s.dwGen = s.TLB.Gen
+	}
+	vpn := va >> mem.PageShift
+	base := pa &^ uint64(mem.PageMask)
+	s.dw[vpn&(dwEntries-1)] = dwEntry{
+		vpn:      vpn + 1,
+		page:     p.Bytes(base, mem.PageSize),
+		gen:      p.GenPtr(base),
+		writable: writable,
+	}
 }
 
 // loadN reads size bytes (1, 2, 4, 8) at va, little-endian,
 // zero-extended. Accesses may straddle a page boundary.
 func (m *Machine) loadN(s *Sequencer, va uint64, size uint) (uint64, *fault) {
-	if va&mem.PageMask+uint64(size) <= mem.PageSize {
-		pa, f := m.translate(s, va, false)
+	off := va & mem.PageMask
+	if off+uint64(size) <= mem.PageSize {
+		if m.dwOn && s.dwGen == s.TLB.Gen && s.CRs[isa.CR0]&isa.CR0Paging != 0 {
+			vpn := va >> mem.PageShift
+			if e := &s.dw[vpn&(dwEntries-1)]; e.vpn == vpn+1 {
+				// Window hit: the TLB path would hit too (see above).
+				s.TLB.Hits++
+				switch size {
+				case 1:
+					return uint64(e.page[off]), nil
+				case 2:
+					return uint64(binary.LittleEndian.Uint16(e.page[off:])), nil
+				case 4:
+					return uint64(binary.LittleEndian.Uint32(e.page[off:])), nil
+				default:
+					return binary.LittleEndian.Uint64(e.page[off:]), nil
+				}
+			}
+		}
+		pa, w, f := m.translate(s, va, false)
 		if f != nil {
 			return 0, f
+		}
+		if m.dwOn && s.CRs[isa.CR0]&isa.CR0Paging != 0 {
+			s.dwFill(m.Phys, va, pa, w)
 		}
 		switch size {
 		case 1:
@@ -91,34 +174,56 @@ func (m *Machine) loadN(s *Sequencer, va uint64, size uint) (uint64, *fault) {
 		}
 	}
 	// Page-straddling access: translate both pages up front (so the
-	// fault, if any, reports the correct page), then read.
+	// fault, if any, reports the correct page), then read each half with
+	// one chunked copy.
 	second := (va | uint64(mem.PageMask)) + 1
-	pa0, f := m.translate(s, va, false)
+	pa0, _, f := m.translate(s, va, false)
 	if f != nil {
 		return 0, f
 	}
-	pa1, f := m.translate(s, second, false)
+	pa1, _, f := m.translate(s, second, false)
 	if f != nil {
 		return 0, f
 	}
-	n0 := uint(second - va)
-	var v uint64
-	for i := uint(0); i < size; i++ {
-		pa := pa0 + uint64(i)
-		if i >= n0 {
-			pa = pa1 + uint64(i-n0)
-		}
-		v |= uint64(m.Phys.ReadU8(pa)) << (8 * i)
+	n0 := second - va
+	var buf [8]byte
+	copy(buf[:n0], m.Phys.Bytes(pa0, n0))
+	copy(buf[n0:size], m.Phys.Bytes(pa1, uint64(size)-n0))
+	v := binary.LittleEndian.Uint64(buf[:])
+	if size < 8 {
+		v &= 1<<(8*size) - 1
 	}
 	return v, nil
 }
 
 // storeN writes size bytes at va, little-endian.
 func (m *Machine) storeN(s *Sequencer, va uint64, size uint, v uint64) *fault {
-	if va&mem.PageMask+uint64(size) <= mem.PageSize {
-		pa, f := m.translate(s, va, true)
+	off := va & mem.PageMask
+	if off+uint64(size) <= mem.PageSize {
+		if m.dwOn && s.dwGen == s.TLB.Gen && s.CRs[isa.CR0]&isa.CR0Paging != 0 {
+			vpn := va >> mem.PageShift
+			if e := &s.dw[vpn&(dwEntries-1)]; e.vpn == vpn+1 && e.writable {
+				s.TLB.Hits++
+				*e.gen++ // store-generation bump, as Phys.Write* would
+				switch size {
+				case 1:
+					e.page[off] = uint8(v)
+				case 2:
+					binary.LittleEndian.PutUint16(e.page[off:], uint16(v))
+				case 4:
+					binary.LittleEndian.PutUint32(e.page[off:], uint32(v))
+				default:
+					binary.LittleEndian.PutUint64(e.page[off:], v)
+				}
+				return nil
+			}
+		}
+		pa, w, f := m.translate(s, va, true)
 		if f != nil {
 			return f
+		}
+		if m.dwOn && s.CRs[isa.CR0]&isa.CR0Paging != 0 {
+			s.dwFill(m.Phys, va, pa, w)
 		}
 		switch size {
 		case 1:
@@ -134,24 +239,22 @@ func (m *Machine) storeN(s *Sequencer, va uint64, size uint, v uint64) *fault {
 	}
 	// Page-straddling store: translate BOTH pages before writing any
 	// byte, so a fault on the second page reports that page's VA and
-	// leaves no partial store visible on the first.
+	// leaves no partial store visible on the first. Each half is one
+	// chunked copy through BytesRW, which bumps the store generations.
 	second := (va | uint64(mem.PageMask)) + 1
-	pa0, f := m.translate(s, va, true)
+	pa0, _, f := m.translate(s, va, true)
 	if f != nil {
 		return f
 	}
-	pa1, f := m.translate(s, second, true)
+	pa1, _, f := m.translate(s, second, true)
 	if f != nil {
 		return f
 	}
-	n0 := uint(second - va)
-	for i := uint(0); i < size; i++ {
-		pa := pa0 + uint64(i)
-		if i >= n0 {
-			pa = pa1 + uint64(i-n0)
-		}
-		m.Phys.WriteU8(pa, uint8(v>>(8*i)))
-	}
+	n0 := second - va
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	copy(m.Phys.BytesRW(pa0, n0), buf[:n0])
+	copy(m.Phys.BytesRW(pa1, uint64(size)-n0), buf[n0:size])
 	return nil
 }
 
@@ -175,7 +278,7 @@ func (m *Machine) fetchTranslate(s *Sequencer) (uint64, *fault) {
 	}
 	vpn := pc >> mem.PageShift
 	if s.fetchVPN != vpn+1 {
-		if pfn, ok := s.TLB.Lookup(pc, false); ok {
+		if pfn, _, ok := s.TLB.Lookup(pc, false); ok {
 			s.fetchVPN = vpn + 1
 			s.fetchBase = uint64(pfn) << mem.PageShift
 		} else {

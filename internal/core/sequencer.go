@@ -135,6 +135,13 @@ type Sequencer struct {
 	winVA  uint64
 	winGen *uint32
 
+	// Data window cache (fast loop only): a small direct-mapped cache of
+	// recently translated data pages, validated against the TLB with one
+	// generation compare (see memaccess.go). dwGen snapshots TLB.Gen at
+	// fill; dwGen != TLB.Gen invalidates every entry at once.
+	dw    [dwEntries]dwEntry
+	dwGen uint64
+
 	// YIELD-CONDITIONAL scenario table: handler addresses (0 = none).
 	Yield [isa.NumScenarios]uint64
 	// InHandler marks execution inside a yield/proxy handler; further

@@ -5,6 +5,7 @@ import (
 	"misp/internal/overhead"
 	"misp/internal/report"
 	"misp/internal/shredlib"
+	"misp/internal/sweep"
 	"misp/internal/workloads"
 )
 
@@ -30,40 +31,49 @@ type RingPolicyRow struct {
 }
 
 // AblationRingPolicy runs the selected apps on MISP 1×N under both
-// policies.
+// policies, fanning the app×policy grid across host workers.
 func AblationRingPolicy(opt Options) ([]RingPolicyRow, error) {
 	opt.defaults()
 	ws, err := opt.workloads()
 	if err != nil {
 		return nil, err
 	}
-	var out []RingPolicyRow
-	for _, w := range ws {
-		row := RingPolicyRow{Name: w.Name}
-		for _, policy := range []core.RingPolicy{core.RingSuspendAll, core.RingMonitorCR} {
-			cfg := opt.Config(core.Topology{opt.Seqs - 1})
-			cfg.RingPolicy = policy
-			res, err := workloads.Run(w, shredlib.ModeShred, cfg, opt.Size)
-			if err != nil {
-				return nil, err
-			}
-			if err := checkRun(w, res, policy.String(), opt.Size); err != nil {
-				return nil, err
-			}
-			var stall uint64
-			for _, a := range res.Machine.Procs[0].AMSs() {
-				stall += a.C.RingStall
-			}
-			if policy == core.RingSuspendAll {
-				row.CyclesSuspend = res.Cycles
-				row.RingStallSuspend = stall
-			} else {
-				row.CyclesMonitor = res.Cycles
-				row.RingStallMonitor = stall
-			}
+	policies := [2]core.RingPolicy{core.RingSuspendAll, core.RingMonitorCR}
+	type cell struct {
+		cycles, stall uint64
+	}
+	cells, st, err := sweep.Map(opt.Parallel, 2*len(ws), func(i int) (cell, error) {
+		w, policy := ws[i/2], policies[i%2]
+		cfg := opt.Config(core.Topology{opt.Seqs - 1})
+		cfg.RingPolicy = policy
+		res, err := workloads.Run(w, shredlib.ModeShred, cfg, opt.Size)
+		if err != nil {
+			return cell{}, err
 		}
-		row.MonitorSpeedup = float64(row.CyclesSuspend) / float64(row.CyclesMonitor)
-		out = append(out, row)
+		if err := checkRun(w, res, policy.String(), opt.Size); err != nil {
+			return cell{}, err
+		}
+		var stall uint64
+		for _, a := range res.Machine.Procs[0].AMSs() {
+			stall += a.C.RingStall
+		}
+		return cell{cycles: res.Cycles, stall: stall}, nil
+	})
+	opt.addStats(st)
+	if err != nil {
+		return nil, err
+	}
+	var out []RingPolicyRow
+	for wi, w := range ws {
+		susp, mon := cells[wi*2], cells[wi*2+1]
+		out = append(out, RingPolicyRow{
+			Name:             w.Name,
+			CyclesSuspend:    susp.cycles,
+			CyclesMonitor:    mon.cycles,
+			RingStallSuspend: susp.stall,
+			RingStallMonitor: mon.stall,
+			MonitorSpeedup:   float64(susp.cycles) / float64(mon.cycles),
+		})
 	}
 	return out, nil
 }
@@ -91,44 +101,50 @@ type ProbeRow struct {
 }
 
 // AblationProbe runs the selected apps with and without the page-probe
-// optimization (§5.3).
+// optimization (§5.3), fanning the app×probe grid across host workers.
 func AblationProbe(opt Options) ([]ProbeRow, error) {
 	opt.defaults()
 	ws, err := opt.workloads()
 	if err != nil {
 		return nil, err
 	}
-	var out []ProbeRow
-	for _, w := range ws {
-		row := ProbeRow{Name: w.Name}
-		for _, probe := range []bool{false, true} {
-			if probe {
-				workloads.ExtraFlags = shredlib.FlagProbePages
-			} else {
-				workloads.ExtraFlags = 0
-			}
-			res, err := workloads.Run(w, shredlib.ModeShred, opt.Config(core.Topology{opt.Seqs - 1}), opt.Size)
-			workloads.ExtraFlags = 0
-			if err != nil {
-				return nil, err
-			}
-			if err := checkRun(w, res, "probe ablation", opt.Size); err != nil {
-				return nil, err
-			}
-			var pf uint64
-			for _, a := range res.Machine.Procs[0].AMSs() {
-				pf += a.C.ProxyPageFaults
-			}
-			if probe {
-				row.AMSPFProbed = pf
-				row.CyclesProbed = res.Cycles
-			} else {
-				row.AMSPFBase = pf
-				row.CyclesBase = res.Cycles
-			}
+	type cell struct {
+		cycles, pf uint64
+	}
+	cells, st, err := sweep.Map(opt.Parallel, 2*len(ws), func(i int) (cell, error) {
+		w, probe := ws[i/2], i%2 == 1
+		var extra int64
+		if probe {
+			extra = shredlib.FlagProbePages
 		}
-		row.ProbedSpeedup = float64(row.CyclesBase) / float64(row.CyclesProbed)
-		out = append(out, row)
+		res, err := workloads.RunFlags(w, shredlib.ModeShred, opt.Config(core.Topology{opt.Seqs - 1}), opt.Size, extra)
+		if err != nil {
+			return cell{}, err
+		}
+		if err := checkRun(w, res, "probe ablation", opt.Size); err != nil {
+			return cell{}, err
+		}
+		var pf uint64
+		for _, a := range res.Machine.Procs[0].AMSs() {
+			pf += a.C.ProxyPageFaults
+		}
+		return cell{cycles: res.Cycles, pf: pf}, nil
+	})
+	opt.addStats(st)
+	if err != nil {
+		return nil, err
+	}
+	var out []ProbeRow
+	for wi, w := range ws {
+		base, probed := cells[wi*2], cells[wi*2+1]
+		out = append(out, ProbeRow{
+			Name:          w.Name,
+			AMSPFBase:     base.pf,
+			AMSPFProbed:   probed.pf,
+			CyclesBase:    base.cycles,
+			CyclesProbed:  probed.cycles,
+			ProbedSpeedup: float64(base.cycles) / float64(probed.cycles),
+		})
 	}
 	return out, nil
 }
@@ -155,7 +171,10 @@ type SweepRow struct {
 }
 
 // AblationSignalSweep re-simulates the machine at several signal costs
-// and compares the measured slowdown with the analytic model.
+// and compares the measured slowdown with the analytic model. The
+// app×signal grid fans out across host workers; the relative overheads
+// (which relate each run to its app's signals[0] baseline) are computed
+// after the sweep completes.
 func AblationSignalSweep(opt Options, signals []uint64) ([]SweepRow, error) {
 	opt.defaults()
 	if signals == nil {
@@ -165,29 +184,40 @@ func AblationSignalSweep(opt Options, signals []uint64) ([]SweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	type cell struct {
+		cycles uint64
+		ev     overhead.Events
+	}
+	nc := len(signals)
+	cells, st, err := sweep.Map(opt.Parallel, nc*len(ws), func(i int) (cell, error) {
+		w, sig := ws[i/nc], signals[i%nc]
+		cfg := opt.Config(core.Topology{opt.Seqs - 1})
+		cfg.SignalCost = sig
+		res, err := workloads.Run(w, shredlib.ModeShred, cfg, opt.Size)
+		if err != nil {
+			return cell{}, err
+		}
+		if err := checkRun(w, res, "signal sweep", opt.Size); err != nil {
+			return cell{}, err
+		}
+		return cell{cycles: res.Cycles, ev: overhead.Collect(res.Machine)}, nil
+	})
+	opt.addStats(st)
+	if err != nil {
+		return nil, err
+	}
 	var out []SweepRow
-	for _, w := range ws {
-		var base uint64
-		var baseEv overhead.Events
-		for i, sig := range signals {
-			cfg := opt.Config(core.Topology{opt.Seqs - 1})
-			cfg.SignalCost = sig
-			res, err := workloads.Run(w, shredlib.ModeShred, cfg, opt.Size)
-			if err != nil {
-				return nil, err
-			}
-			if err := checkRun(w, res, "signal sweep", opt.Size); err != nil {
-				return nil, err
-			}
-			ev := overhead.Collect(res.Machine)
-			if i == 0 {
-				base = res.Cycles
-				baseEv = ev
-			}
-			row := SweepRow{Name: w.Name, Signal: sig, Cycles: res.Cycles}
-			row.Measured = float64(res.Cycles)/float64(base) - 1
-			row.Predicted = float64(overhead.SignalCycles(baseEv, sig)) / float64(base)
-			out = append(out, row)
+	for wi, w := range ws {
+		base := cells[wi*nc]
+		for si, sig := range signals {
+			c := cells[wi*nc+si]
+			out = append(out, SweepRow{
+				Name:      w.Name,
+				Signal:    sig,
+				Cycles:    c.cycles,
+				Measured:  float64(c.cycles)/float64(base.cycles) - 1,
+				Predicted: float64(overhead.SignalCycles(base.ev, sig)) / float64(base.cycles),
+			})
 		}
 	}
 	return out, nil

@@ -8,6 +8,7 @@ import (
 	"misp/internal/obs"
 	"misp/internal/report"
 	"misp/internal/shredlib"
+	"misp/internal/sweep"
 	"misp/internal/workloads"
 )
 
@@ -47,23 +48,31 @@ func AblationDynamicBinding(opt Options) ([]DynamicRow, error) {
 		{"4x2, idle donors", core.Topology{1, 1, 1, 1}, 0},
 		{"4x2, 3 spinners on donors", core.Topology{1, 1, 1, 1}, 3},
 	}
-	var out []DynamicRow
-	for _, sc := range scenarios {
-		row := DynamicRow{Scenario: sc.name}
-		for _, dynamic := range []bool{false, true} {
-			cycles, rebinds, err := dynamicRun(w, opt, sc.top, sc.loads, dynamic)
-			if err != nil {
-				return nil, fmt.Errorf("exp: A4 %q dynamic=%v: %w", sc.name, dynamic, err)
-			}
-			if dynamic {
-				row.DynamicCycles = cycles
-				row.Rebinds = rebinds
-			} else {
-				row.StaticCycles = cycles
-			}
+	type cell struct {
+		cycles, rebinds uint64
+	}
+	cells, st, err := sweep.Map(opt.Parallel, 2*len(scenarios), func(i int) (cell, error) {
+		sc, dynamic := scenarios[i/2], i%2 == 1
+		cycles, rebinds, err := dynamicRun(w, opt, sc.top, sc.loads, dynamic)
+		if err != nil {
+			return cell{}, fmt.Errorf("exp: A4 %q dynamic=%v: %w", sc.name, dynamic, err)
 		}
-		row.Speedup = float64(row.StaticCycles) / float64(row.DynamicCycles)
-		out = append(out, row)
+		return cell{cycles: cycles, rebinds: rebinds}, nil
+	})
+	opt.addStats(st)
+	if err != nil {
+		return nil, err
+	}
+	var out []DynamicRow
+	for si, sc := range scenarios {
+		static, dyn := cells[si*2], cells[si*2+1]
+		out = append(out, DynamicRow{
+			Scenario:      sc.name,
+			StaticCycles:  static.cycles,
+			DynamicCycles: dyn.cycles,
+			Rebinds:       dyn.rebinds,
+			Speedup:       float64(static.cycles) / float64(dyn.cycles),
+		})
 	}
 	return out, nil
 }
@@ -79,9 +88,7 @@ func dynamicRun(w *workloads.Workload, opt Options, top core.Topology, loads int
 	k := kernel.New(m)
 	k.DynamicAMSBinding = dynamic
 
-	workloads.ExtraFlags = shredlib.FlagNoMP
-	prog := w.Build(shredlib.ModeShred, opt.Size)
-	workloads.ExtraFlags = 0
+	prog := w.BuildFlags(shredlib.ModeShred, opt.Size, shredlib.FlagNoMP)
 
 	app, err := k.Spawn(w.Name, prog)
 	if err != nil {

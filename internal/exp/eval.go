@@ -18,6 +18,7 @@ import (
 	"misp/internal/overhead"
 	"misp/internal/report"
 	"misp/internal/shredlib"
+	"misp/internal/sweep"
 	"misp/internal/workloads"
 )
 
@@ -27,8 +28,18 @@ type Options struct {
 	Seqs int      // total sequencers per configuration (paper: 8)
 	Apps []string // subset of workloads; nil = all 16
 	// Config, when non-nil, overrides the base machine configuration
-	// factory (used by ablations and tests).
+	// factory (used by ablations and tests). Experiments fan runs out
+	// across host cores, so the factory must be safe for concurrent
+	// calls (a pure function of the topology).
 	Config func(core.Topology) core.Config
+	// Parallel is the host worker count for independent simulation runs
+	// (sweep.Map semantics: <= 0 uses GOMAXPROCS, 1 runs serially).
+	// Results are bit-identical for every value.
+	Parallel int
+	// SweepStats, when non-nil, accumulates host-side sweep statistics
+	// (runs, wall/busy time, utilization) across every experiment called
+	// with these Options.
+	SweepStats *sweep.Stats
 }
 
 func (o *Options) defaults() {
@@ -37,6 +48,20 @@ func (o *Options) defaults() {
 	}
 	if o.Config == nil {
 		o.Config = workloads.DefaultConfig
+	}
+}
+
+// addStats folds one sweep's host statistics into the caller-provided
+// accumulator.
+func (o *Options) addStats(st sweep.Stats) {
+	if o.SweepStats == nil {
+		return
+	}
+	o.SweepStats.Jobs += st.Jobs
+	o.SweepStats.Wall += st.Wall
+	o.SweepStats.Busy += st.Busy
+	if st.Workers > o.SweepStats.Workers {
+		o.SweepStats.Workers = st.Workers
 	}
 }
 
@@ -80,6 +105,13 @@ type AppResult struct {
 	AMSSys    uint64
 	AMSPF     uint64
 
+	// TLB accounting across all sequencers of the MISP run. Cold misses
+	// (no translation cached) and permission misses (resident read-only
+	// translation probed for write) both cost a page walk, but only the
+	// latter are re-check walks — Table 1 reports them separately.
+	TLBMisses     uint64
+	TLBPermMisses uint64
+
 	Checksum float64
 }
 
@@ -104,8 +136,26 @@ func checkRun(w *workloads.Workload, res *workloads.RunResult, label string, sz 
 	return fmt.Errorf("exp: %s on %s: checksum %g does not match reference %g", w.Name, label, got, want)
 }
 
+// evalRun is one (app, configuration) job's compact extract. Jobs
+// return this instead of the RunResult so each run's machine — and its
+// simulated physical memory — is garbage the moment the job finishes,
+// keeping a wide parallel sweep's footprint flat.
+type evalRun struct {
+	Cycles   uint64
+	Checksum float64
+
+	// MISP-configuration extras (zero for 1P/SMP runs).
+	Events                                           overhead.Events
+	OMS                                              core.SeqCounters
+	OMSSys, OMSPF, OMSTimers, OMSIntr, AMSSys, AMSPF uint64
+	TLBMisses, TLBPermMisses                         uint64
+}
+
 // Evaluate runs every selected workload on the three standard
-// configurations and returns validated measurements.
+// configurations and returns validated measurements. Runs are
+// independent deterministic simulations, so they fan out across
+// opt.Parallel host workers; the results (and everything rendered from
+// them) are identical for any worker count.
 func Evaluate(opt Options) ([]*AppResult, error) {
 	opt.defaults()
 	ws, err := opt.workloads()
@@ -113,48 +163,73 @@ func Evaluate(opt Options) ([]*AppResult, error) {
 		return nil, err
 	}
 	smpTop := make(core.Topology, opt.Seqs)
+	labels := [3]string{"1P", "MISP", "SMP"}
+	runs, st, err := sweep.Map(opt.Parallel, 3*len(ws), func(i int) (evalRun, error) {
+		w, c := ws[i/3], i%3
+		cfg := opt.Config(core.Topology{0})
+		mode := shredlib.ModeShred
+		switch c {
+		case 1:
+			cfg = opt.Config(core.Topology{opt.Seqs - 1})
+		case 2:
+			cfg = opt.Config(smpTop)
+			mode = shredlib.ModeThread
+		}
+		res, err := workloads.Run(w, mode, cfg, opt.Size)
+		if err != nil {
+			return evalRun{}, err
+		}
+		if err := checkRun(w, res, labels[c], opt.Size); err != nil {
+			return evalRun{}, err
+		}
+		r := evalRun{Cycles: res.Cycles, Checksum: res.Checksum}
+		if c == 1 {
+			r.Events = overhead.Collect(res.Machine)
+			r.OMS = res.Machine.Procs[0].OMS().C
+			reg := res.Machine.Obs.Metrics
+			r.OMSSys = reg.CounterValue(obs.MOMSSyscalls)
+			r.OMSPF = reg.CounterValue(obs.MOMSPageFaults)
+			r.OMSTimers = reg.CounterValue(obs.MOMSTimers)
+			r.OMSIntr = reg.CounterValue(obs.MOMSInterrupts)
+			r.AMSSys = reg.CounterValue(obs.MAMSProxySyscalls)
+			r.AMSPF = reg.CounterValue(obs.MAMSProxyPageFaults)
+			for _, s := range res.Machine.Seqs {
+				r.TLBMisses += s.TLB.Misses
+				r.TLBPermMisses += s.TLB.PermMisses
+			}
+		}
+		return r, nil
+	})
+	opt.addStats(st)
+	if err != nil {
+		return nil, err
+	}
 	var out []*AppResult
-	for _, w := range ws {
-		r := &AppResult{Name: w.Name, Suite: w.Suite}
+	for ai, w := range ws {
+		r1, rm, rs := runs[ai*3], runs[ai*3+1], runs[ai*3+2]
+		out = append(out, &AppResult{
+			Name:  w.Name,
+			Suite: w.Suite,
 
-		r1, err := workloads.Run(w, shredlib.ModeShred, opt.Config(core.Topology{0}), opt.Size)
-		if err != nil {
-			return nil, err
-		}
-		if err := checkRun(w, r1, "1P", opt.Size); err != nil {
-			return nil, err
-		}
-		r.Cycles1P = r1.Cycles
-		r.Checksum = r1.Checksum
+			Cycles1P:   r1.Cycles,
+			CyclesMISP: rm.Cycles,
+			CyclesSMP:  rs.Cycles,
 
-		rm, err := workloads.Run(w, shredlib.ModeShred, opt.Config(core.Topology{opt.Seqs - 1}), opt.Size)
-		if err != nil {
-			return nil, err
-		}
-		if err := checkRun(w, rm, "MISP", opt.Size); err != nil {
-			return nil, err
-		}
-		r.CyclesMISP = rm.Cycles
-		r.Events = overhead.Collect(rm.Machine)
-		r.OMS = rm.Machine.Procs[0].OMS().C
-		reg := rm.Machine.Obs.Metrics
-		r.OMSSys = reg.CounterValue(obs.MOMSSyscalls)
-		r.OMSPF = reg.CounterValue(obs.MOMSPageFaults)
-		r.OMSTimers = reg.CounterValue(obs.MOMSTimers)
-		r.OMSIntr = reg.CounterValue(obs.MOMSInterrupts)
-		r.AMSSys = reg.CounterValue(obs.MAMSProxySyscalls)
-		r.AMSPF = reg.CounterValue(obs.MAMSProxyPageFaults)
+			Events: rm.Events,
+			OMS:    rm.OMS,
 
-		rs, err := workloads.Run(w, shredlib.ModeThread, opt.Config(smpTop), opt.Size)
-		if err != nil {
-			return nil, err
-		}
-		if err := checkRun(w, rs, "SMP", opt.Size); err != nil {
-			return nil, err
-		}
-		r.CyclesSMP = rs.Cycles
+			OMSSys:    rm.OMSSys,
+			OMSPF:     rm.OMSPF,
+			OMSTimers: rm.OMSTimers,
+			OMSIntr:   rm.OMSIntr,
+			AMSSys:    rm.AMSSys,
+			AMSPF:     rm.AMSPF,
 
-		out = append(out, r)
+			TLBMisses:     rm.TLBMisses,
+			TLBPermMisses: rm.TLBPermMisses,
+
+			Checksum: r1.Checksum,
+		})
 	}
 	return out, nil
 }
@@ -178,11 +253,11 @@ func Table1(results []*AppResult) *report.Table {
 	t := &report.Table{
 		Title: "Table 1 — Serializing Events (MISP run)",
 		Cols: []string{"app", "suite", "OMS SysCall", "OMS PF", "OMS Timer",
-			"OMS Interrupt", "AMS SysCall", "AMS PF"},
+			"OMS Interrupt", "AMS SysCall", "AMS PF", "TLB Miss", "TLB PermMiss"},
 	}
 	for _, r := range results {
 		t.Add(r.Name, r.Suite, r.OMSSys, r.OMSPF, r.OMSTimers,
-			r.OMSIntr, r.AMSSys, r.AMSPF)
+			r.OMSIntr, r.AMSSys, r.AMSPF, r.TLBMisses, r.TLBPermMisses)
 	}
 	return t
 }

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"misp/internal/core"
+	"misp/internal/sweep"
 	"misp/internal/workloads"
 )
 
@@ -19,6 +21,35 @@ func testOpts(apps ...string) Options {
 			cfg.MaxCycles = 8_000_000_000
 			return cfg
 		},
+	}
+}
+
+// TestEvaluateParallelDeterminism: the harness promises byte-identical
+// results for any worker count. Deep-compare full result sets from a
+// serial and a 4-worker run (which also puts the multi-worker pool
+// under the race detector's eye — GOMAXPROCS alone may be 1 in CI).
+func TestEvaluateParallelDeterminism(t *testing.T) {
+	opt := testOpts("dense_mmm", "kmeans")
+	opt.Parallel = 1
+	serial, err := Evaluate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats sweep.Stats
+	opt.Parallel = 4
+	opt.SweepStats = &stats
+	par, err := Evaluate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("results diverge between 1 and 4 workers:\nserial %+v\npar    %+v", serial, par)
+	}
+	if stats.Jobs != 6 || stats.Workers != 4 {
+		t.Fatalf("stats = %+v, want 6 jobs on 4 workers", stats)
+	}
+	if stats.Wall <= 0 || stats.Busy <= 0 {
+		t.Fatalf("stats recorded no time: %+v", stats)
 	}
 }
 

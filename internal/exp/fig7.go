@@ -8,6 +8,7 @@ import (
 	"misp/internal/kernel"
 	"misp/internal/report"
 	"misp/internal/shredlib"
+	"misp/internal/sweep"
 	"misp/internal/workloads"
 )
 
@@ -39,6 +40,11 @@ type Fig7Options struct {
 	MaxLoad int // additional single-threaded processes, 0..MaxLoad (paper: 4)
 	App     string
 	Config  func(core.Topology) core.Config
+	// Parallel is the host worker count for the config×load grid
+	// (sweep.Map semantics); SweepStats optionally accumulates host-side
+	// statistics, as in Options.
+	Parallel   int
+	SweepStats *sweep.Stats
 }
 
 // Fig7Curve is one configuration's series: relative RayTracer
@@ -75,15 +81,31 @@ func Fig7(opt Fig7Options) ([]Fig7Curve, error) {
 		return nil, err
 	}
 
+	configs := Fig7Configs()
+	nl := opt.MaxLoad + 1
+	cells, st, err := sweep.Map(opt.Parallel, nl*len(configs), func(i int) (uint64, error) {
+		cfg, load := configs[i/nl], i%nl
+		cycles, err := fig7Run(w, cfg, opt, load)
+		if err != nil {
+			return 0, fmt.Errorf("exp: fig7 %s load %d: %w", cfg.Name, load, err)
+		}
+		return cycles, nil
+	})
+	if opt.SweepStats != nil {
+		opt.SweepStats.Jobs += st.Jobs
+		opt.SweepStats.Wall += st.Wall
+		opt.SweepStats.Busy += st.Busy
+		if st.Workers > opt.SweepStats.Workers {
+			opt.SweepStats.Workers = st.Workers
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
 	var curves []Fig7Curve
-	for _, cfg := range Fig7Configs() {
-		curve := Fig7Curve{Config: cfg.Name}
-		for load := 0; load <= opt.MaxLoad; load++ {
-			cycles, err := fig7Run(w, cfg, opt, load)
-			if err != nil {
-				return nil, fmt.Errorf("exp: fig7 %s load %d: %w", cfg.Name, load, err)
-			}
-			curve.Cycles = append(curve.Cycles, cycles)
+	for ci, cfg := range configs {
+		curve := Fig7Curve{Config: cfg.Name, Cycles: cells[ci*nl : (ci+1)*nl]}
+		for _, cycles := range curve.Cycles {
 			curve.Speedup = append(curve.Speedup, float64(curve.Cycles[0])/float64(cycles))
 		}
 		curves = append(curves, curve)

@@ -7,10 +7,23 @@ package mem
 // executing in ring 3; only CR3 updates force synchronization.
 type TLB struct {
 	entries [tlbEntries]tlbEntry
+	// Gen counts TLB content mutations (Insert, Flush, an evicting
+	// FlushPage). Consumers that cache a subset of the TLB's
+	// translations — the sequencer's data window cache — snapshot it
+	// and revalidate with one compare: an unchanged Gen proves every
+	// cached entry is still resident with the same frame and
+	// permission.
+	Gen uint64
 	// Statistics.
 	Hits    uint64
 	Misses  uint64
 	Flushes uint64
+	// PermMisses counts lookups that found the page resident but with
+	// insufficient permission (a write to a cached read-only
+	// translation). These force a page walk just like cold misses, but
+	// the walk exists to (re)check permission, not to fill a missing
+	// translation — Table 1's TLB columns report them separately.
+	PermMisses uint64
 }
 
 const tlbEntries = 256
@@ -21,23 +34,30 @@ type tlbEntry struct {
 	write bool // writable
 }
 
-// Lookup returns the physical frame for va if cached with sufficient
-// permission. write selects a write access.
-func (t *TLB) Lookup(va uint64, write bool) (uint32, bool) {
+// Lookup returns the physical frame and write permission for va if
+// cached with sufficient permission. write selects a write access.
+func (t *TLB) Lookup(va uint64, write bool) (pfn uint32, writable bool, ok bool) {
 	vpn := uint32(va >> PageShift)
 	e := &t.entries[vpn&(tlbEntries-1)]
-	if e.vpn == vpn+1 && (!write || e.write) {
-		t.Hits++
-		return e.pfn, true
+	if e.vpn == vpn+1 {
+		if !write || e.write {
+			t.Hits++
+			return e.pfn, e.write, true
+		}
+		// Resident but read-only: the walk that follows is a
+		// permission (re)check, not a fill.
+		t.PermMisses++
+		return 0, false, false
 	}
 	t.Misses++
-	return 0, false
+	return 0, false, false
 }
 
 // Insert caches a translation from a completed page walk.
 func (t *TLB) Insert(va uint64, pfn uint32, writable bool) {
 	vpn := uint32(va >> PageShift)
 	t.entries[vpn&(tlbEntries-1)] = tlbEntry{vpn: vpn + 1, pfn: pfn, write: writable}
+	t.Gen++
 }
 
 // Flush invalidates every entry (CR3 write, AMS resume synchronization,
@@ -45,13 +65,17 @@ func (t *TLB) Insert(va uint64, pfn uint32, writable bool) {
 func (t *TLB) Flush() {
 	clear(t.entries[:])
 	t.Flushes++
+	t.Gen++
 }
 
-// FlushPage invalidates the entry for one page (INVLPG).
+// FlushPage invalidates the entry for one page (INVLPG). Gen advances
+// only when an entry is actually evicted: a no-op flush leaves every
+// cached translation intact, so derived caches stay valid.
 func (t *TLB) FlushPage(va uint64) {
 	vpn := uint32(va >> PageShift)
 	e := &t.entries[vpn&(tlbEntries-1)]
 	if e.vpn == vpn+1 {
 		*e = tlbEntry{}
+		t.Gen++
 	}
 }

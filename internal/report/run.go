@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"misp/internal/core"
+	"misp/internal/sweep"
 )
 
 // RunSummary renders a machine's end-of-run report, including the
@@ -17,6 +18,10 @@ func RunSummary(rep core.RunReport) *Table {
 	}
 	t.Add("cycles", rep.Cycles)
 	t.Add("instructions", rep.Instrs)
+	if rep.Wall > 0 {
+		t.Add("host wall time", rep.Wall.String())
+		t.Add("instrs/sec (host)", fmt.Sprintf("%.3g", float64(rep.Instrs)/rep.Wall.Seconds()))
+	}
 	if rep.TraceEnabled {
 		t.Add("trace events retained", rep.TraceEvents)
 		t.Add("trace events dropped", rep.TraceDropped)
@@ -31,5 +36,25 @@ func RunSummary(rep core.RunReport) *Table {
 	} else {
 		t.Add("trace", "disabled")
 	}
+	return t
+}
+
+// SweepSummary renders the host-side cost of a parallel experiment
+// sweep: how many independent runs were fanned out, over how many
+// workers, and how well the host cores were used. Wall times are
+// host-dependent, so this table goes to stdout/JSON only — never into
+// the experiment CSVs, which stay byte-identical across -parallel
+// settings.
+func SweepSummary(st sweep.Stats) *Table {
+	t := &Table{
+		Title: "Sweep summary (host)",
+		Cols:  []string{"metric", "value"},
+	}
+	t.Add("simulation runs", st.Jobs)
+	t.Add("workers", st.Workers)
+	t.Add("wall time", st.Wall.String())
+	t.Add("total run time", st.Busy.String())
+	t.Add("effective parallelism", fmt.Sprintf("%.2fx", st.Speedup()))
+	t.Add("host-core utilization", Pct(st.Utilization()))
 	return t
 }

@@ -1,0 +1,123 @@
+// Package sweep fans independent simulation runs across host cores.
+//
+// The experiment harness's unit of work — one workload on one machine
+// configuration — is embarrassingly parallel: every core.Machine owns
+// its physical memory, kernel, and obs subsystem (bus, metrics,
+// profile), so runs share no mutable state. sweep.Map exploits that
+// with a fixed worker pool while keeping the harness's output exactly
+// reproducible:
+//
+//   - Results are returned indexed by job, so downstream tables and
+//     CSVs are byte-identical no matter how many workers ran or in
+//     which order jobs finished.
+//   - Every job runs to completion even when another fails; the
+//     returned error is always the lowest-index one, so failures are
+//     deterministic too.
+//   - A panicking job is captured (converted to that job's error) and
+//     does not take down the sweep or the process.
+//
+// Callers must not mutate shared state from job functions; anything a
+// job writes, it writes to its own result slot.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats describes one Map call for throughput reporting.
+type Stats struct {
+	Jobs    int
+	Workers int
+	Wall    time.Duration
+	// Busy is the summed in-job run time across workers; Busy/Wall is
+	// the effective host-core parallelism achieved.
+	Busy time.Duration
+}
+
+// Utilization is the fraction of worker·wall capacity spent in jobs
+// (1.0 = every worker busy for the whole sweep).
+func (s Stats) Utilization() float64 {
+	if s.Workers == 0 || s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / (float64(s.Wall) * float64(s.Workers))
+}
+
+// Speedup is the effective parallelism: total job time over wall time.
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Wall)
+}
+
+// Workers normalizes a -parallel style knob: n <= 0 selects
+// GOMAXPROCS (all host cores).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(0..n-1) on at most workers goroutines (workers <= 0 uses
+// GOMAXPROCS; workers == 1 runs inline with no goroutines) and returns
+// the results in job order. All jobs run regardless of failures; the
+// returned error is the lowest-index job's.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, Stats, error) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	busy := make([]time.Duration, workers+1)
+	start := time.Now()
+	runJob := func(slot, i int) {
+		t0 := time.Now()
+		defer func() {
+			busy[slot] += time.Since(t0)
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			}
+		}()
+		results[i], errs[i] = fn(i)
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			runJob(0, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for slot := 1; slot <= workers; slot++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runJob(slot, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	st := Stats{Jobs: n, Workers: workers, Wall: time.Since(start)}
+	for _, b := range busy {
+		st.Busy += b
+	}
+	for i, e := range errs {
+		if e != nil {
+			return results, st, fmt.Errorf("sweep: job %d: %w", i, e)
+		}
+	}
+	return results, st, nil
+}

@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrder: results come back in job order for every worker count,
+// including counts far above the job count.
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		got, st, err := Map(workers, 10, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+		if st.Jobs != 10 {
+			t.Fatalf("workers=%d: stats jobs = %d", workers, st.Jobs)
+		}
+		if st.Workers > 10 {
+			t.Fatalf("workers=%d: stats workers = %d, want <= jobs", workers, st.Workers)
+		}
+	}
+}
+
+// TestMapLowestError: the error returned is the lowest-index failure,
+// and later jobs still ran.
+func TestMapLowestError(t *testing.T) {
+	var ran atomic.Int32
+	for _, workers := range []int{1, 4} {
+		ran.Store(0)
+		_, _, err := Map(workers, 8, func(i int) (int, error) {
+			ran.Add(1)
+			if i == 6 || i == 3 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "job 3") {
+			t.Fatalf("workers=%d: err = %v, want lowest-index job 3", workers, err)
+		}
+		if ran.Load() != 8 {
+			t.Fatalf("workers=%d: ran %d jobs, want all 8 despite failures", workers, ran.Load())
+		}
+	}
+}
+
+// TestMapPanicCapture: a panicking job becomes that job's error; the
+// other jobs complete and the process survives.
+func TestMapPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got, _, err := Map(workers, 5, func(i int) (int, error) {
+			if i == 2 {
+				panic("diverging workload")
+			}
+			return i + 100, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "job 2") ||
+			!strings.Contains(err.Error(), "diverging workload") {
+			t.Fatalf("workers=%d: err = %v, want captured panic from job 2", workers, err)
+		}
+		for _, i := range []int{0, 1, 3, 4} {
+			if got[i] != i+100 {
+				t.Fatalf("workers=%d: job %d result lost after sibling panic", workers, i)
+			}
+		}
+	}
+}
+
+// TestMapZeroJobs: degenerate sweeps are fine.
+func TestMapZeroJobs(t *testing.T) {
+	got, st, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if u := st.Utilization(); u != 0 {
+		t.Fatalf("utilization of empty sweep = %v", u)
+	}
+}
+
+// TestMapDeterministicResults: identical inputs give byte-identical
+// rendered results regardless of parallelism — the property the
+// harness's CSV outputs rely on.
+func TestMapDeterministicResults(t *testing.T) {
+	render := func(workers int) string {
+		got, _, err := Map(workers, 16, func(i int) (string, error) {
+			return fmt.Sprintf("row %02d = %d", i, i*7%13), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(got, "\n")
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 4, 16} {
+		if par := render(workers); par != serial {
+			t.Fatalf("workers=%d output diverges from serial:\n%s\nvs\n%s", workers, par, serial)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("defaulted worker count must be at least 1")
+	}
+}

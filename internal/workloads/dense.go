@@ -26,10 +26,10 @@ func mmmSize(sz Size) mmmParams {
 var _ = register(&Workload{
 	Name:  "dense_mmm",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := mmmSize(sz)
 		n := p.n
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog()
@@ -125,10 +125,10 @@ func mvmSize(sz Size) mvmParams {
 var _ = register(&Workload{
 	Name:  "dense_mvm",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := mvmSize(sz)
 		n := p.n
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog(r10)
@@ -215,11 +215,11 @@ func mvmSymSize(sz Size) mvmParams {
 var _ = register(&Workload{
 	Name:  "dense_mvm_sym",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := mvmSymSize(sz)
 		n := p.n
 		ap := n * (n + 1) / 2
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog(r10)
@@ -351,10 +351,10 @@ func adatSize(sz Size) adatParams {
 var _ = register(&Workload{
 	Name:  "ADAt",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := adatSize(sz)
 		n := p.n
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog()

@@ -26,17 +26,11 @@ const (
 	sp  = isa.SP
 )
 
-// ExtraFlags is OR-ed into every workload's rt_init flags. It exists
-// for the experiment harness's ablations (e.g. shredlib.FlagProbePages
-// for the §5.3 page-probe study), which vary runtime behaviour without
-// touching workload source — exactly the knob a real runtime would
-// expose via an environment variable.
-var ExtraFlags int64
-
 // newProgram starts a workload program in the given runtime mode and
-// emits the shared helper functions.
+// emits the shared helper functions. flags already includes any
+// harness-supplied extra flags (Workload.BuildFlags).
 func newProgram(mode shredlib.Mode, flags int64) *asm.Builder {
-	b := shredlib.NewProgram(mode, flags|ExtraFlags)
+	b := shredlib.NewProgram(mode, flags)
 	emitFillRand(b)
 	emitSumF64(b)
 	emitDots(b)

@@ -28,11 +28,11 @@ func gaussSize(sz Size) gaussParams {
 var _ = register(&Workload{
 	Name:  "gauss",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := gaussSize(sz)
 		n := p.n
 		w := n + 2 // row width
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog(r10, r11)
@@ -155,11 +155,11 @@ func kmeansSize(sz Size) kmeansParams {
 var _ = register(&Workload{
 	Name:  "kmeans",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := kmeansSize(sz)
 		nc := chunks(p.pts, p.grain)
 		slab := p.k*p.dims + p.k // per-chunk floats: sums then counts
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog(r10, r11, r12, r13)

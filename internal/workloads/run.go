@@ -22,7 +22,12 @@ type RunResult struct {
 // Run executes workload w in the given runtime mode on a machine built
 // from cfg.
 func Run(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size) (*RunResult, error) {
-	pr, err := Prepare(w, mode, cfg, sz)
+	return RunFlags(w, mode, cfg, sz, 0)
+}
+
+// RunFlags is Run with extra rt_init flags (ablation knobs).
+func RunFlags(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size, extra int64) (*RunResult, error) {
+	pr, err := PrepareFlags(w, mode, cfg, sz, extra)
 	if err != nil {
 		return nil, err
 	}
@@ -44,12 +49,17 @@ type Prepared struct {
 
 // Prepare builds the machine and spawns w's program without running it.
 func Prepare(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size) (*Prepared, error) {
+	return PrepareFlags(w, mode, cfg, sz, 0)
+}
+
+// PrepareFlags is Prepare with extra rt_init flags.
+func PrepareFlags(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size, extra int64) (*Prepared, error) {
 	m, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	k := kernel.New(m)
-	prog := w.Build(mode, sz)
+	prog := w.BuildFlags(mode, sz, extra)
 	p, err := k.Spawn(w.Name, prog)
 	if err != nil {
 		return nil, err

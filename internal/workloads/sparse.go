@@ -173,10 +173,10 @@ func emitSlabMerge(b *asm.Builder, n, nc int64) {
 var _ = register(&Workload{
 	Name:  "sparse_mvm",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := sparseSize(sz)
 		n := p.n
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog(r10)
@@ -272,11 +272,11 @@ var _ = register(&Workload{
 var _ = register(&Workload{
 	Name:  "sparse_mvm_sym",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := sparseSymSize(sz)
 		n := p.n
 		nc := chunks(n, p.grain)
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog(r10, r11, r12)
@@ -410,11 +410,11 @@ var _ = register(&Workload{
 var _ = register(&Workload{
 	Name:  "sparse_mvm_trans",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := sparseSymSize(sz)
 		n := p.n
 		nc := chunks(n, p.grain)
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog(r10, r11, r12)

@@ -95,11 +95,11 @@ var _ = register(&Workload{
 	Name:  "swim",
 	Suite: "SPEComp",
 	Flags: shredlib.FlagYieldOnIdle,
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := swimSize(sz)
 		n := p.n
 		w := n + 2
-		b := newProgram(mode, shredlib.FlagYieldOnIdle)
+		b := newProgram(mode, shredlib.FlagYieldOnIdle|extra)
 
 		b.Label("app_main")
 		b.Prolog(r10)
@@ -180,11 +180,11 @@ var _ = register(&Workload{
 	Name:  "applu",
 	Suite: "SPEComp",
 	Flags: shredlib.FlagYieldOnIdle,
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := appluSize(sz)
 		n := p.n
 		w := n + 2
-		b := newProgram(mode, shredlib.FlagYieldOnIdle)
+		b := newProgram(mode, shredlib.FlagYieldOnIdle|extra)
 
 		b.Label("app_main")
 		b.Prolog(r10, r11)
@@ -321,10 +321,10 @@ var _ = register(&Workload{
 	Name:  "galgel",
 	Suite: "SPEComp",
 	Flags: shredlib.FlagYieldOnIdle,
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := galgelSize(sz)
 		n := p.n
-		b := newProgram(mode, shredlib.FlagYieldOnIdle)
+		b := newProgram(mode, shredlib.FlagYieldOnIdle|extra)
 
 		b.Label("app_main")
 		b.Prolog(r10, r11)
@@ -441,10 +441,10 @@ var _ = register(&Workload{
 	Name:  "equake",
 	Suite: "SPEComp",
 	Flags: shredlib.FlagYieldOnIdle,
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := equakeSize(sz)
 		n := p.n
-		b := newProgram(mode, shredlib.FlagYieldOnIdle)
+		b := newProgram(mode, shredlib.FlagYieldOnIdle|extra)
 
 		b.Label("app_main")
 		b.Prolog(r10, r11)
@@ -586,10 +586,10 @@ var _ = register(&Workload{
 	Name:  "art",
 	Suite: "SPEComp",
 	Flags: shredlib.FlagYieldOnIdle,
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := artSize(sz)
 		nc := chunks(p.s, p.grain)
-		b := newProgram(mode, shredlib.FlagYieldOnIdle)
+		b := newProgram(mode, shredlib.FlagYieldOnIdle|extra)
 
 		b.Label("app_main")
 		b.Prolog(r10, r11, r12)

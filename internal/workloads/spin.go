@@ -25,7 +25,7 @@ func spinIters(sz Size) int64 {
 var _ = register(&Workload{
 	Name:  "spin",
 	Suite: "-",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		b := asm.NewBuilder()
 		b.Entry("main")
 		b.Label("main")

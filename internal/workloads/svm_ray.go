@@ -24,10 +24,10 @@ func svmSize(sz Size) svmParams {
 var _ = register(&Workload{
 	Name:  "svm_c",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := svmSize(sz)
 		nc := chunks(p.s, p.grain)
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog(r10, r11, r12, r13)
@@ -282,11 +282,11 @@ func sqrt(x float64) float64 {
 var _ = register(&Workload{
 	Name:  "raytracer",
 	Suite: "RMS",
-	Build: func(mode shredlib.Mode, sz Size) *asm.Program {
+	BuildFlags: func(mode shredlib.Mode, sz Size, extra int64) *asm.Program {
 		p := raySize(sz)
 		nc := chunks(p.h, p.grain)
 		sph, light := raySceneData()
-		b := newProgram(mode, 0)
+		b := newProgram(mode, extra)
 
 		b.Label("app_main")
 		b.Prolog()

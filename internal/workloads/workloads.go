@@ -56,11 +56,21 @@ type Workload struct {
 	// set shredlib.FlagYieldOnIdle to model the OpenMP runtime's OS
 	// interaction).
 	Flags int64
-	// Build generates the program for the given runtime mode and size.
-	Build func(mode shredlib.Mode, sz Size) *asm.Program
+	// BuildFlags generates the program for the given runtime mode and
+	// size, OR-ing extra into the rt_init flags. The extra flags are the
+	// experiment harness's ablation knob (e.g. shredlib.FlagProbePages
+	// for the §5.3 page-probe study); passing them explicitly — rather
+	// than through a package global — keeps program construction free of
+	// shared mutable state, so independent runs can build concurrently.
+	BuildFlags func(mode shredlib.Mode, sz Size, extra int64) *asm.Program
 	// Ref computes the reference checksum with a mirrored Go
 	// implementation.
 	Ref func(sz Size) float64
+}
+
+// Build generates the program with no extra runtime flags.
+func (w *Workload) Build(mode shredlib.Mode, sz Size) *asm.Program {
+	return w.BuildFlags(mode, sz, 0)
 }
 
 var registry = map[string]*Workload{}
