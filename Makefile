@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck
+.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck faultcheck
 
 build:
 	$(GO) build ./...
@@ -52,5 +52,18 @@ paracheck:
 	$(GO) run ./cmd/mispbench -exp table1 -size test -csv /tmp/misp-csv-pN -parallel 0 > /dev/null
 	diff -r /tmp/misp-csv-p1 /tmp/misp-csv-pN
 
+# faultcheck: the resilience gate. Runs the fixed-seed fault-campaign
+# matrix (every campaign must complete with the right checksum or die
+# in a structured Diagnosis — never hang, never panic) under the race
+# detector, then checks the resilience sweep's CSV is byte-identical
+# for serial and parallel execution.
+faultcheck:
+	$(GO) test -race -run 'TestFaultEquiv|TestWatchdog|TestCycleLimit|TestDiagnosis|TestFaultCampaign|TestParfor(UnderAMSStalls|AllProxiesLost|SurvivesAMSKill)|TestJoinSingleSequencer|TestPthreadTimedjoin|TestPreemptionUnder|TestHealthCheck' \
+		./internal/core ./internal/fault ./internal/workloads ./internal/shredlib ./internal/kernel
+	rm -rf /tmp/misp-csv-f1 /tmp/misp-csv-fN
+	$(GO) run ./cmd/mispbench -exp resilience -size test -faultseeds 3 -csv /tmp/misp-csv-f1 -parallel 1 > /dev/null
+	$(GO) run ./cmd/mispbench -exp resilience -size test -faultseeds 3 -csv /tmp/misp-csv-fN -parallel 0 > /dev/null
+	diff -r /tmp/misp-csv-f1 /tmp/misp-csv-fN
+
 # ci is the full gate run by the GitHub Actions workflow.
-ci: build vet test race smoke benchgate paracheck
+ci: build vet test race smoke benchgate paracheck faultcheck

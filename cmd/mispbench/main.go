@@ -35,13 +35,14 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, fig4, table1, fig5, fig7, table2, ring, probe, dynamic, signalsweep, bench")
+	expName := flag.String("exp", "all", "experiment: all, fig4, table1, fig5, fig7, table2, ring, probe, dynamic, signalsweep, resilience, bench")
 	sizeName := flag.String("size", "small", "problem size: test, small, ref")
 	seqs := flag.Int("seqs", 8, "total sequencers per configuration")
 	apps := flag.String("apps", "", "comma-separated workload subset (default: all 16)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
 	maxLoad := flag.Int("load", 4, "fig7: maximum number of competing processes")
 	parallel := flag.Int("parallel", 0, "host workers for independent simulation runs (0 = all cores, 1 = serial); results are identical for any value")
+	faultSeeds := flag.Int("faultseeds", 5, "resilience: seeded fault campaigns per sweep cell")
 	jsonPath := flag.String("json", "", "bench: write measurements to this JSON file (default BENCH_core.json)")
 	baseline := flag.String("baseline", "", "bench: compare against this committed baseline JSON and fail on regression")
 	flag.Parse()
@@ -150,6 +151,24 @@ func main() {
 		}
 		emit("ablation_dynamic", exp.DynamicTable(rows))
 	}
+	// The resilience sweep injects faults on purpose, so it is opt-in
+	// rather than part of "all" (whose outputs are fault-free paper
+	// reproductions).
+	if which == "resilience" {
+		ropt := exp.ResilienceOptions{
+			Size: size, SeedsPerCell: *faultSeeds,
+			Parallel: *parallel, SweepStats: &stats,
+		}
+		if opt.Apps != nil {
+			ropt.App = opt.Apps[0]
+		}
+		rows, err := exp.Resilience(ropt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("resilience", exp.ResilienceTable(rows))
+	}
+
 	if which == "all" || which == "signalsweep" {
 		sweepOpt := opt
 		if sweepOpt.Apps == nil {

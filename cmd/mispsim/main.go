@@ -18,6 +18,7 @@ import (
 
 	"misp/internal/asm"
 	"misp/internal/core"
+	"misp/internal/fault"
 	"misp/internal/obs"
 	"misp/internal/report"
 	"misp/internal/shredlib"
@@ -37,6 +38,10 @@ func main() {
 	runFile := flag.String("run", "", "assemble and run an .svm file under BareOS instead of a workload")
 	signal := flag.Uint64("signal", 5000, "inter-sequencer signal cost in cycles")
 	policy := flag.String("ringpolicy", "suspend-all", "ring policy: suspend-all or monitor-cr")
+	faultSeed := flag.Uint64("faultseed", 0, "fault injection seed (with -faultperiod)")
+	faultPeriod := flag.Uint64("faultperiod", 0, "mean retirements between injected faults per kind (0 = fault plane disabled)")
+	faultKinds := flag.String("faultkinds", "", "comma-separated fault kinds to inject (default: all); see internal/fault")
+	watchdog := flag.Uint64("watchdog", 0, "livelock watchdog horizon in cycles (0 = 8x timer interval when faults are on, else off)")
 	flag.Parse()
 
 	if *list {
@@ -53,6 +58,14 @@ func main() {
 	cfg := workloads.DefaultConfig(top)
 	cfg.SignalCost = *signal
 	cfg.TraceEvents = *trace || *traceOut != ""
+	cfg.WatchdogHorizon = *watchdog
+	if *faultPeriod != 0 {
+		kinds, err := parseFaultKinds(*faultKinds)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Fault = fault.Uniform(*faultSeed, *faultPeriod, kinds...)
+	}
 	switch *policy {
 	case "suspend-all":
 		cfg.RingPolicy = core.RingSuspendAll
@@ -191,6 +204,28 @@ func parseTopology(s string) (core.Topology, error) {
 		top = append(top, n)
 	}
 	return top, nil
+}
+
+func parseFaultKinds(s string) ([]fault.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var kinds []fault.Kind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, k := range fault.Kinds() {
+			if k.String() == name {
+				kinds = append(kinds, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown fault kind %q (known: %v)", name, fault.Kinds())
+		}
+	}
+	return kinds, nil
 }
 
 func parseSize(s string) (workloads.Size, error) {

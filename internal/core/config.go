@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"misp/internal/fault"
 	"misp/internal/mem"
 )
 
@@ -139,6 +140,19 @@ type Config struct {
 	// fast loop (an ablation knob for the bench harness; the legacy loop
 	// never uses the window). Results are bit-identical either way.
 	NoDataWindow bool
+
+	// Fault configures the deterministic fault-injection plane. Held by
+	// value so every machine built from a copied Config constructs its
+	// own identical Plan (the -parallel sweep workers must not share
+	// schedule state). The zero value disables injection: the machine
+	// carries no plan and the hot loop pays one nil check.
+	Fault fault.Config
+	// WatchdogHorizon is the livelock-detection window in cycles: if the
+	// machine clock advances a full horizon with zero instructions
+	// retired machine-wide, the run aborts with a structured Diagnosis.
+	// 0 auto-selects 8×TimerInterval when fault injection is enabled and
+	// disables the watchdog otherwise.
+	WatchdogHorizon uint64
 }
 
 // DefaultBatchInstrs is the fast path's inner-loop bound when

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"misp/internal/asm"
+	"misp/internal/fault"
+)
+
+// Fault-plane difftests: with an injection plan attached, the legacy
+// loop (oracle) and the fast path must still be bit-identical — same
+// injection schedule, same clocks and counters, same obs event stream,
+// and, when the run dies, the same structured Diagnosis. Faulty runs
+// are allowed to fail; they are not allowed to fail differently.
+
+// faultShredProg is shredProg hardened for injection: both the OMS and
+// the shred register a yield handler so SpuriousYield has something to
+// fire, and the handler guards proxyexec against the phantom trigger's
+// zero argument.
+const faultShredProg = `
+main:
+    la  r1, proxy_handler
+    setyield r1, 0
+    li  r1, 1          ; sid
+    la  r2, shred
+    li  r3, 0x70020000 ; stack for the shred
+    signal r1, r2, r3
+    la  r4, flag
+    li  r9, 0
+wait:
+    ldd r5, [r4]
+    beq r5, r9, wait
+    la  r6, value
+    ldd r1, [r6]
+    li  r0, 1
+    syscall
+
+proxy_handler:
+    li  r9, 0
+    beq r1, r9, ph_skip
+    proxyexec r1
+ph_skip:
+    sret
+
+shred:
+    la  r10, proxy_handler
+    setyield r10, 0
+    seqid r7, 0
+    addi r7, r7, 100
+    la  r6, value
+    std r7, [r6]
+    li  r8, 1
+    la  r4, flag
+    std r8, [r4]
+park:
+    pause
+    j park
+.data
+flag:  .u64 0
+value: .u64 0
+`
+
+// faultProxyProg is proxyProg with the same spurious-yield guard.
+const faultProxyProg = `
+main:
+    la  r1, proxy_handler
+    setyield r1, 0
+    li  r1, 1
+    la  r2, shred
+    li  r3, 0x70020000
+    signal r1, r2, r3
+    la  r4, flag
+    li  r9, 0
+wait:
+    ldd r5, [r4]
+    beq r5, r9, wait
+    li  r0, 1
+    li  r1, 77
+    syscall
+
+proxy_handler:
+    li  r9, 0
+    beq r1, r9, ph_skip
+    proxyexec r1
+ph_skip:
+    sret
+
+shred:
+    la  r10, proxy_handler
+    setyield r10, 0
+    li  r6, 0x08000000   ; untouched heap page -> proxy PF
+    li  r7, 123
+    std r7, [r6]
+    la  r1, msg          ; proxy syscall: write
+    li  r2, 3
+    li  r0, 3
+    syscall
+    li  r8, 1
+    la  r4, flag
+    std r8, [r4]
+park:
+    pause
+    j park
+.data
+flag: .u64 0
+msg:  .asciiz "abc"
+`
+
+// runLoopFault is runLoop for runs that are allowed to die: it returns
+// the run's terminal error (machine stop or BareOS kill) instead of
+// failing the test on it.
+func runLoopFault(t *testing.T, cfg Config, src string, legacy bool) (*BareOS, *Machine, error) {
+	t.Helper()
+	cfg.TraceEvents = true
+	cfg.LegacyLoop = legacy
+	p := asm.MustAssemble(src)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := m.Run()
+	if runErr == nil {
+		runErr = b.Err
+	}
+	return b, m, runErr
+}
+
+// checkEquivFault is checkEquiv under injection: legacy vs fast vs
+// fast-nodw must agree on outcome (success or the exact same error
+// text), schedule, clocks, counters, and event stream.
+func checkEquivFault(t *testing.T, cfg Config, src string) {
+	t.Helper()
+	errText := func(err error) string {
+		if err == nil {
+			return ""
+		}
+		return err.Error()
+	}
+	bL, mL, eL := runLoopFault(t, cfg, src, true)
+	for _, v := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"fast", func(c *Config) {}},
+		{"fast-nodw", func(c *Config) { c.NoDataWindow = true }},
+	} {
+		c := cfg
+		v.mut(&c)
+		bF, mF, eF := runLoopFault(t, c, src, false)
+
+		if errText(eL) != errText(eF) {
+			t.Fatalf("%s: outcomes diverge:\nlegacy: %v\nfast:   %v", v.name, eL, eF)
+		}
+		if eL == nil && (bL.ExitCode != bF.ExitCode || bL.Out.String() != bF.Out.String()) {
+			t.Fatalf("%s: outputs diverge: exit %d/%d out %q/%q",
+				v.name, bL.ExitCode, bF.ExitCode, bL.Out.String(), bF.Out.String())
+		}
+		if pL, pF := mL.FaultPlan().LogString(), mF.FaultPlan().LogString(); pL != pF {
+			t.Fatalf("%s: injection schedules diverge:\nlegacy:\n%s\nfast:\n%s", v.name, pL, pF)
+		}
+		if mL.Steps != mF.Steps {
+			t.Fatalf("%s: steps diverge: legacy %d fast %d", v.name, mL.Steps, mF.Steps)
+		}
+		if mL.MaxClock() != mF.MaxClock() {
+			t.Fatalf("%s: wall clock diverges: legacy %d fast %d", v.name, mL.MaxClock(), mF.MaxClock())
+		}
+		for i := range mL.Seqs {
+			sl, sf := mL.Seqs[i], mF.Seqs[i]
+			if sl.Clock != sf.Clock {
+				t.Errorf("%s: %s: clock %d (legacy) != %d (fast)", v.name, sl.Name(), sl.Clock, sf.Clock)
+			}
+			if sl.C != sf.C {
+				t.Errorf("%s: %s: counters diverge:\nlegacy %+v\nfast   %+v", v.name, sl.Name(), sl.C, sf.C)
+			}
+		}
+		evL, evF := mL.Trace.Events(), mF.Trace.Events()
+		if len(evL) != len(evF) {
+			t.Fatalf("%s: event streams diverge in length: legacy %d fast %d", v.name, len(evL), len(evF))
+		}
+		for i := range evL {
+			if evL[i] != evF[i] {
+				t.Fatalf("%s: event %d diverges:\nlegacy %+v\nfast   %+v", v.name, i, evL[i], evF[i])
+			}
+		}
+	}
+}
+
+// faultCfg bounds a faulty run tightly enough that spin-forever
+// outcomes resolve quickly under the legacy loop.
+func faultCfg(nAMS int, seed, period uint64, kinds ...fault.Kind) Config {
+	cfg := testCfg(nAMS)
+	cfg.MaxCycles = 2_000_000
+	cfg.Fault = fault.Uniform(seed, period, kinds...)
+	cfg.Fault.SignalDelay = 10_000
+	cfg.Fault.StallCycles = 50_000
+	return cfg
+}
+
+func TestFaultEquivShredAllKinds(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		checkEquivFault(t, faultCfg(3, seed, 2_000), faultShredProg)
+	}
+}
+
+func TestFaultEquivProxyAllKinds(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		checkEquivFault(t, faultCfg(1, seed, 2_000), faultProxyProg)
+	}
+}
+
+func TestFaultEquivKindSubsets(t *testing.T) {
+	subsets := [][]fault.Kind{
+		{fault.SignalDrop, fault.SignalDelay},
+		{fault.ProxyDrop, fault.SpuriousYield},
+		{fault.AMSStall, fault.AMSKill},
+		{fault.TLBFlush, fault.TLBCorrupt},
+		{fault.MemBitFlip},
+	}
+	for _, ks := range subsets {
+		for seed := uint64(10); seed < 12; seed++ {
+			checkEquivFault(t, faultCfg(3, seed, 1_000, ks...), faultShredProg)
+		}
+	}
+}
+
+func TestWatchdogDetectsLivelock(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.WatchdogHorizon = 1_000
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First tick arms the window; a tick past the horizon with retired
+	// progress re-arms instead of tripping.
+	m.watchdogTick(0)
+	m.Steps = 10
+	m.watchdogTick(1_000)
+	if m.stopErr != nil {
+		t.Fatalf("watchdog tripped despite progress: %v", m.stopErr)
+	}
+	// A full horizon with zero retirement is a livelock.
+	m.watchdogTick(2_000)
+	if m.stopErr == nil {
+		t.Fatal("watchdog did not trip on a stalled horizon")
+	}
+	var d *fault.Diagnosis
+	if !errors.As(m.stopErr, &d) {
+		t.Fatalf("livelock abort is not a Diagnosis: %v", m.stopErr)
+	}
+	if d.Reason != fault.ReasonLivelock {
+		t.Fatalf("reason = %q, want livelock", d.Reason)
+	}
+	if len(d.Seqs) != len(m.Seqs) {
+		t.Fatalf("diagnosis covers %d of %d sequencers", len(d.Seqs), len(m.Seqs))
+	}
+}
+
+func TestCycleLimitIsDiagnosis(t *testing.T) {
+	p := asm.MustAssemble(`
+main:
+    j main
+`)
+	for _, legacy := range []bool{true, false} {
+		cfg := testCfg(0)
+		cfg.MaxCycles = 100_000
+		cfg.LegacyLoop = legacy
+		_, _, err := RunBare(cfg, p)
+		if err == nil {
+			t.Fatalf("legacy=%v: infinite loop did not hit the cycle limit", legacy)
+		}
+		var d *fault.Diagnosis
+		if !errors.As(err, &d) {
+			t.Fatalf("legacy=%v: cycle-limit abort is not a Diagnosis: %v", legacy, err)
+		}
+		if d.Reason != fault.ReasonCycleLimit {
+			t.Fatalf("legacy=%v: reason = %q, want cycle-limit", legacy, d.Reason)
+		}
+		if !strings.Contains(err.Error(), "cycle limit") {
+			t.Fatalf("legacy=%v: message lacks detail: %v", legacy, err)
+		}
+	}
+}
+
+func TestDiagnosisCarriesSchedule(t *testing.T) {
+	// Kill aggressively so the shred dies before publishing and main
+	// spins into the cycle limit; the Diagnosis must carry the plan log.
+	// Scan seeds for a campaign that actually dies (a 1-AMS bareos run
+	// has no kernel to recover it, so most kill schedules are fatal).
+	p := asm.MustAssemble(faultShredProg)
+	var m *Machine
+	var err error
+	for seed := uint64(0); seed < 32 && err == nil; seed++ {
+		// Period 5 puts the first kill within the shred's short pre-publish
+		// window (~8 retirements); later kills only hit the parked loop.
+		_, m, err = RunBare(faultCfg(1, seed, 5, fault.AMSKill), p)
+	}
+	if err == nil {
+		t.Fatal("no kill campaign died in 32 seeds — injection plane inert?")
+	}
+	var d *fault.Diagnosis
+	if !errors.As(err, &d) {
+		t.Fatalf("faulty abort is not a Diagnosis: %v", err)
+	}
+	if len(d.Log) == 0 || d.Injected[fault.AMSKill] == 0 {
+		t.Fatalf("diagnosis lost the injection schedule: log=%d injected=%v", len(d.Log), d.Injected)
+	}
+	if plan := m.FaultPlan(); plan == nil || plan.Total() == 0 {
+		t.Fatal("machine lost its fault plan")
+	}
+}

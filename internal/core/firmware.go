@@ -12,7 +12,7 @@ import (
 
 // fault dispatch: an OMS trap enters the kernel through the ring
 // transition protocol; an AMS trap becomes a proxy request.
-func (m *Machine) dispatchFault(s *Sequencer, f *fault) {
+func (m *Machine) dispatchFault(s *Sequencer, f *trapFault) {
 	if s.IsOMS {
 		m.kernelTrap(s, f.trap, f.info)
 	} else {
@@ -73,6 +73,12 @@ func (m *Machine) kernelTrap(s *Sequencer, trap isa.Trap, info uint64) {
 	// timer re-arming, thread exits); the event heap's cached keys are
 	// untrustworthy until rebuilt.
 	m.evqDirty = true
+	// The watchdog runs at the end of every kernel episode — a point both
+	// execution loops visit with identical clocks, so livelock detection
+	// is bit-reproducible across loops.
+	if m.wdHorizon != 0 && m.stopErr == nil {
+		m.watchdogTick(s.Clock)
+	}
 }
 
 // suspendAMSs parks every running AMS of proc. Each AMS observes the
@@ -136,7 +142,7 @@ func (m *Machine) NotifyCRWrite(oms *Sequencer) {
 // firmware saves the faulting context to the sequencer's save area and
 // relays a user-level fault signal to the OMS (Equation 2's first
 // signal).
-func (m *Machine) proxyRequest(ams *Sequencer, f *fault) {
+func (m *Machine) proxyRequest(ams *Sequencer, f *trapFault) {
 	switch f.trap {
 	case isa.TrapSyscall:
 		ams.C.ProxySyscalls++
@@ -160,6 +166,15 @@ func (m *Machine) proxyRequest(ams *Sequencer, f *fault) {
 	ams.proxyFrame = frameVA
 	ams.C.SignalsSent++
 	proc := m.Proc(ams)
+	if m.flt != nil && m.proxyFault(ams, frameVA) {
+		// The request is lost in flight: the AMS parks awaiting an OMS
+		// that never heard from it. The kernel health check spots the
+		// ProxyLost flag on a timer tick and re-posts (RecoverLostProxy).
+		m.emit(ams.Clock, ams.ID, EvProxyRequest, uint64(f.trap), f.info)
+		m.evq.update(ams)
+		m.evq.update(proc.OMS())
+		return
+	}
 	proc.PendingProxy = append(proc.PendingProxy, ProxyReq{
 		TS:      ams.Clock + m.Cfg.SignalCost,
 		AMS:     ams,
@@ -176,20 +191,20 @@ func (m *Machine) proxyRequest(ams *Sequencer, f *fault) {
 // exactly "the very work that cannot be done on the AMS" — write the
 // advanced context back, restore the handler's context, and signal the
 // AMS to resume.
-func (m *Machine) proxyExec(oms *Sequencer, frameVA uint64) *fault {
+func (m *Machine) proxyExec(oms *Sequencer, frameVA uint64) *trapFault {
 	if !oms.IsOMS {
-		return &fault{trap: isa.TrapGP, info: frameVA}
+		return &trapFault{trap: isa.TrapGP, info: frameVA}
 	}
 	if frameVA < SaveAreaBase || (frameVA-SaveAreaBase)%isa.CtxSize != 0 {
-		return &fault{trap: isa.TrapGP, info: frameVA}
+		return &trapFault{trap: isa.TrapGP, info: frameVA}
 	}
 	gid := int((frameVA - SaveAreaBase) / isa.CtxSize)
 	if gid >= len(m.Seqs) {
-		return &fault{trap: isa.TrapGP, info: frameVA}
+		return &trapFault{trap: isa.TrapGP, info: frameVA}
 	}
 	ams := m.Seqs[gid]
 	if ams.ProcID != oms.ProcID || ams.State != StateWaitProxy || ams.proxyFrame != frameVA {
-		return &fault{trap: isa.TrapGP, info: frameVA}
+		return &trapFault{trap: isa.TrapGP, info: frameVA}
 	}
 
 	// Impersonate: stash the handler's context, assume the AMS's.
@@ -263,18 +278,30 @@ func (m *Machine) proxyExec(oms *Sequencer, frameVA uint64) *fault {
 // doSignal implements the SIGNAL instruction (§2.4): an egress
 // user-level signal carrying a shred continuation to another sequencer
 // of the same MISP processor. SIDs are processor-local logical IDs.
-func (m *Machine) doSignal(s *Sequencer, in isa.Instr) *fault {
+func (m *Machine) doSignal(s *Sequencer, in isa.Instr) *trapFault {
 	sid := s.Regs[in.Rd]
 	proc := m.Proc(s)
 	if sid >= uint64(len(proc.Seqs)) {
-		return &fault{trap: isa.TrapGP, info: sid}
+		return &trapFault{trap: isa.TrapGP, info: sid}
 	}
 	target := proc.Seqs[sid]
 	if target == s {
-		return &fault{trap: isa.TrapGP, info: sid}
+		return &trapFault{trap: isa.TrapGP, info: sid}
 	}
 	ip, sp := s.Regs[in.Rs1], s.Regs[in.Rs2]
-	target.queueSignal(s.Clock, s.Clock+m.Cfg.SignalCost, ip, sp)
+	ts := s.Clock + m.Cfg.SignalCost
+	if m.flt != nil {
+		drop, extra := m.signalFault(s, ip)
+		if drop {
+			// Lost in flight: the instruction retires and the sender
+			// observes success, but the continuation never arrives.
+			s.C.SignalsSent++
+			m.emit(s.Clock, s.ID, EvSignalSend, sid, ip)
+			return nil
+		}
+		ts += extra
+	}
+	target.queueSignal(s.Clock, ts, ip, sp)
 	s.C.SignalsSent++
 	m.evq.update(target)
 	m.emit(s.Clock, s.ID, EvSignalSend, sid, ip)
@@ -314,25 +341,46 @@ func (m *Machine) SaveSeqForSwitch(s *Sequencer) ThreadSeqState {
 	case StateWaitProxy:
 		st.State = StateWaitProxy
 		st.ProxyFrame = s.proxyFrame
-		// Withdraw its undelivered proxy request, if any.
-		proc := m.Proc(s)
-		for i, r := range proc.PendingProxy {
-			if r.AMS == s {
-				proc.PendingProxy = append(proc.PendingProxy[:i], proc.PendingProxy[i+1:]...)
-				st.HasProxyReq = true
-				break
+		if s.proxyLost {
+			// The fault plane dropped the request in flight, so it is not
+			// in PendingProxy to withdraw — but the shred still needs it
+			// re-posted on restore, exactly like an undelivered one.
+			st.HasProxyReq = true
+			s.proxyLost = false
+		} else {
+			// Withdraw its undelivered proxy request, if any.
+			proc := m.Proc(s)
+			for i, r := range proc.PendingProxy {
+				if r.AMS == s {
+					proc.PendingProxy = append(proc.PendingProxy[:i], proc.PendingProxy[i+1:]...)
+					st.HasProxyReq = true
+					break
+				}
 			}
+		}
+	case StateDead:
+		// A corpse still holding an occupant's context (CurTID set) saves
+		// as dead so switchTo can requeue the trapped shred; a reclaimed
+		// corpse (CurTID 0) has nothing left worth saving.
+		if s.CurTID != 0 {
+			st.State = StateDead
+		} else {
+			st.State = StateIdle
 		}
 	default:
 		st.State = StateIdle
 	}
-	// Reset the sequencer for the next occupant.
+	// Reset the sequencer for the next occupant. Deadness is permanent:
+	// the sequencer never idles back into service.
 	s.pending = nil
 	s.Yield = [isa.NumScenarios]uint64{}
 	s.InHandler = false
 	s.proxyFrame = 0
+	s.proxyLost = false
 	if !s.IsOMS {
-		s.State = StateIdle
+		if s.State != StateDead {
+			s.State = StateIdle
+		}
 		s.CurTID = 0
 	}
 	s.flushTranslation()
@@ -427,13 +475,17 @@ func (m *Machine) RebindAMS(a *Sequencer, toProc int) error {
 	return nil
 }
 
-// ResetSeq clears a sequencer after its thread exits.
+// ResetSeq clears a sequencer after its thread exits. A dead sequencer
+// stays dead (deadness is permanent) but is otherwise cleared.
 func (m *Machine) ResetSeq(s *Sequencer) {
 	s.pending = nil
 	s.Yield = [isa.NumScenarios]uint64{}
 	s.InHandler = false
 	s.proxyFrame = 0
-	s.State = StateIdle
+	s.proxyLost = false
+	if s.State != StateDead {
+		s.State = StateIdle
+	}
 	s.CurTID = 0
 	s.flushTranslation()
 	// Withdraw any queued proxy requests from this sequencer.

@@ -15,6 +15,8 @@ func (m *Machine) exec(s *Sequencer) {
 	if m.prof == nil {
 		if f := m.execOne(s); f != nil {
 			m.dispatchFault(s, f)
+		} else if m.flt != nil {
+			m.injectRetire(s)
 		}
 		return
 	}
@@ -23,6 +25,8 @@ func (m *Machine) exec(s *Sequencer) {
 	m.prof.Add(pc, s.Clock-c0)
 	if f != nil {
 		m.dispatchFault(s, f)
+	} else if m.flt != nil {
+		m.injectRetire(s)
 	}
 }
 
@@ -31,7 +35,7 @@ func (m *Machine) exec(s *Sequencer) {
 // faulting instruction. Traps are NOT handled here. The legacy loop
 // decodes afresh each instruction, exactly as the seed interpreter did;
 // the decode page cache belongs to the fast path.
-func (m *Machine) execOne(s *Sequencer) *fault {
+func (m *Machine) execOne(s *Sequencer) *trapFault {
 	in, f := m.fetchUncached(s)
 	if f != nil {
 		return f
@@ -41,13 +45,13 @@ func (m *Machine) execOne(s *Sequencer) *fault {
 
 // execInstr executes the already-fetched instruction at s.PC. The batch
 // loop fetches once to inspect the opcode and passes it here.
-func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
+func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *trapFault {
 	if !isa.Valid(in.Op) {
-		return &fault{trap: isa.TrapBadInstr, info: s.PC}
+		return &trapFault{trap: isa.TrapBadInstr, info: s.PC}
 	}
 	info := isa.Lookup(in.Op)
 	if info.Priv && s.Ring != isa.Ring0 {
-		return &fault{trap: isa.TrapGP, info: s.PC}
+		return &trapFault{trap: isa.TrapGP, info: s.PC}
 	}
 
 	r := &s.Regs
@@ -61,7 +65,7 @@ func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
 	case isa.OpHalt:
 		m.halted = true
 	case isa.OpBrk:
-		return &fault{trap: isa.TrapBreak, info: s.PC}
+		return &trapFault{trap: isa.TrapBreak, info: s.PC}
 	case isa.OpRdtsc:
 		r[in.Rd] = s.Clock
 	case isa.OpSeqid:
@@ -86,7 +90,7 @@ func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
 	case isa.OpDiv:
 		d := int64(r[in.Rs2])
 		if d == 0 {
-			return &fault{trap: isa.TrapDivZero, info: s.PC}
+			return &trapFault{trap: isa.TrapDivZero, info: s.PC}
 		}
 		n := int64(r[in.Rs1])
 		if n == math.MinInt64 && d == -1 {
@@ -97,7 +101,7 @@ func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
 	case isa.OpRem:
 		d := int64(r[in.Rs2])
 		if d == 0 {
-			return &fault{trap: isa.TrapDivZero, info: s.PC}
+			return &trapFault{trap: isa.TrapDivZero, info: s.PC}
 		}
 		n := int64(r[in.Rs1])
 		if n == math.MinInt64 && d == -1 {
@@ -278,7 +282,7 @@ func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
 	case isa.OpAxchg, isa.OpAcas, isa.OpAadd:
 		va := r[in.Rs1]
 		if va%8 != 0 {
-			return &fault{trap: isa.TrapBadInstr, info: va}
+			return &trapFault{trap: isa.TrapBadInstr, info: va}
 		}
 		old, f := m.loadN(s, va, 8)
 		if f != nil {
@@ -307,13 +311,13 @@ func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
 
 	// System.
 	case isa.OpSyscall:
-		return &fault{trap: isa.TrapSyscall, info: r[isa.RRet]}
+		return &trapFault{trap: isa.TrapSyscall, info: r[isa.RRet]}
 	case isa.OpIret:
 		s.Ring = isa.Ring3
 	case isa.OpMovtcr:
 		cr := isa.CR(in.Imm)
 		if int(cr) >= isa.NumCRs {
-			return &fault{trap: isa.TrapGP, info: uint64(in.Imm)}
+			return &trapFault{trap: isa.TrapGP, info: uint64(in.Imm)}
 		}
 		s.CRs[cr] = r[in.Rs1]
 		if cr == isa.CR3 {
@@ -322,7 +326,7 @@ func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
 	case isa.OpMovfcr:
 		cr := isa.CR(in.Imm)
 		if int(cr) >= isa.NumCRs {
-			return &fault{trap: isa.TrapGP, info: uint64(in.Imm)}
+			return &trapFault{trap: isa.TrapGP, info: uint64(in.Imm)}
 		}
 		r[in.Rd] = s.CRs[cr]
 	case isa.OpHlt:
@@ -348,7 +352,7 @@ func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
 	case isa.OpSetyield:
 		sc := in.Imm
 		if sc < 0 || sc >= isa.NumScenarios {
-			return &fault{trap: isa.TrapGP, info: uint64(uint32(sc))}
+			return &trapFault{trap: isa.TrapGP, info: uint64(uint32(sc))}
 		}
 		s.Yield[sc] = r[in.Rs1]
 	case isa.OpSret:
@@ -382,7 +386,7 @@ func (m *Machine) execInstr(s *Sequencer, in isa.Instr) *fault {
 		}
 
 	default:
-		return &fault{trap: isa.TrapBadInstr, info: s.PC}
+		return &trapFault{trap: isa.TrapBadInstr, info: s.PC}
 	}
 
 	s.PC = nextPC

@@ -102,6 +102,14 @@ type Machine struct {
 	// interpreter's hot path.
 	prof *obs.Profile
 
+	// flt is the fault-injection plane (nil when disabled — the hot loops
+	// pay exactly one nil check per retired instruction).
+	flt *fltState
+	// Watchdog state: wdHorizon is the livelock window (0 = disabled);
+	// wdNext the next check time; wdSteps the retirement count at the
+	// last check. See watchdogTick.
+	wdHorizon, wdNext, wdSteps uint64
+
 	// GlobalStats
 	Steps uint64 // total instructions executed
 	// Wall is the accumulated host time spent inside Run — the per-run
@@ -161,6 +169,7 @@ func New(cfg Config) (*Machine, error) {
 	m := &Machine{Cfg: cfg, Phys: phys, Obs: o, Trace: &Trace{bus: o.Bus}, prof: o.Prof}
 	m.mx = newMachMetrics(o.Metrics)
 	m.dwOn = !cfg.LegacyLoop && !cfg.NoDataWindow
+	m.initFaultPlane()
 	gid := 0
 	for pid, nAMS := range cfg.Topology {
 		proc := &Processor{ID: pid}
@@ -232,10 +241,10 @@ func (m *Machine) runLegacy() error {
 	for m.stopErr == nil && !m.halted && !m.os.Done() {
 		s := m.pickNext()
 		if s == nil {
-			return fmt.Errorf("core: deadlock — no runnable sequencer and no pending event (cycle %d)", m.MaxClock())
+			return m.deadlockDiag()
 		}
 		if m.Cfg.MaxCycles > 0 && s.Clock > m.Cfg.MaxCycles {
-			return fmt.Errorf("core: cycle limit %d exceeded", m.Cfg.MaxCycles)
+			return m.cycleLimitDiag()
 		}
 		m.step(s)
 	}
@@ -271,11 +280,11 @@ func (m *Machine) runFast() error {
 		}
 		s, hT, hID := m.evq.top()
 		if s == nil {
-			return fmt.Errorf("core: deadlock — no runnable sequencer and no pending event (cycle %d)", m.MaxClock())
+			return m.deadlockDiag()
 		}
 		if s.State == StateIdle {
 			if m.Cfg.MaxCycles > 0 && s.Clock > m.Cfg.MaxCycles {
-				return fmt.Errorf("core: cycle limit %d exceeded", m.Cfg.MaxCycles)
+				return m.cycleLimitDiag()
 			}
 			m.wakeIdle(s)
 			if !m.evqDirty {
@@ -358,7 +367,7 @@ func (m *Machine) runRound(s *Sequencer, T uint64, batch int) error {
 // running without re-selection.
 func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean bool, err error) {
 	if s.Clock > m.cycLimit {
-		return false, fmt.Errorf("core: cycle limit %d exceeded", m.Cfg.MaxCycles)
+		return false, m.cycleLimitDiag()
 	}
 	if s.State != StateRunning {
 		return false, nil
@@ -402,13 +411,13 @@ func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean boo
 			return true, nil
 		}
 		if s.Clock > limit {
-			return false, fmt.Errorf("core: cycle limit %d exceeded", m.Cfg.MaxCycles)
+			return false, m.cycleLimitDiag()
 		}
 		pc, c0 := s.PC, s.Clock
 		// Fetch, window check inlined (see fetchSlow): a hit costs a few
 		// compares and an array read — no call, no translation, no decode.
 		var in isa.Instr
-		var f *fault
+		var f *trapFault
 		off := pc - s.winVA
 		idx := off >> 3
 		if off < mem.PageSize && off&7 == 0 && s.winGen != nil &&
@@ -428,6 +437,12 @@ func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean boo
 		}
 		if f != nil {
 			m.dispatchFault(s, f)
+			return false, nil
+		}
+		if m.flt != nil && m.injectRetire(s) {
+			// Like a break op: the injection may have changed this
+			// sequencer's state or another's view of memory, so end the
+			// batch and let selection re-run.
 			return false, nil
 		}
 		if brk {

@@ -10,7 +10,7 @@ import (
 
 // fault describes a trap raised mid-instruction. The instruction did
 // not commit; s.PC still points at it.
-type fault struct {
+type trapFault struct {
 	trap isa.Trap
 	info uint64
 }
@@ -33,7 +33,7 @@ func PFAddr(info uint64) uint64 { return info & pfAddrMask }
 // PFIsWrite reports whether the faulting access was a write.
 func PFIsWrite(info uint64) bool { return info&PFWrite != 0 }
 
-func pfFault(va uint64, write, fetch bool) *fault {
+func pfFault(va uint64, write, fetch bool) *trapFault {
 	info := va & pfAddrMask
 	if write {
 		info |= PFWrite
@@ -41,7 +41,7 @@ func pfFault(va uint64, write, fetch bool) *fault {
 	if fetch {
 		info |= PFFetch
 	}
-	return &fault{trap: isa.TrapPageFault, info: info}
+	return &trapFault{trap: isa.TrapPageFault, info: info}
 }
 
 // translate resolves va for a data access on s, consulting the TLB and
@@ -50,10 +50,10 @@ func pfFault(va uint64, write, fetch bool) *fault {
 // mapped page's write permission (regardless of the access type), which
 // the data window cache records at fill time; it is true with paging
 // off.
-func (m *Machine) translate(s *Sequencer, va uint64, write bool) (uint64, bool, *fault) {
+func (m *Machine) translate(s *Sequencer, va uint64, write bool) (uint64, bool, *trapFault) {
 	if s.CRs[isa.CR0]&isa.CR0Paging == 0 {
 		if !m.Phys.InRange(va, 1) {
-			return 0, false, &fault{trap: isa.TrapGP, info: va}
+			return 0, false, &trapFault{trap: isa.TrapGP, info: va}
 		}
 		return va, true, nil
 	}
@@ -61,7 +61,7 @@ func (m *Machine) translate(s *Sequencer, va uint64, write bool) (uint64, bool, 
 		// The VA cannot be represented in the page-fault info encoding
 		// (it would alias the access bits); treat it as a #GP, like a
 		// non-canonical address.
-		return 0, false, &fault{trap: isa.TrapGP, info: va}
+		return 0, false, &trapFault{trap: isa.TrapGP, info: va}
 	}
 	if pfn, w, ok := s.TLB.Lookup(va, write); ok {
 		return uint64(pfn)<<mem.PageShift | va&mem.PageMask, w, nil
@@ -135,7 +135,7 @@ func (s *Sequencer) dwFill(p *mem.Phys, va, pa uint64, writable bool) {
 
 // loadN reads size bytes (1, 2, 4, 8) at va, little-endian,
 // zero-extended. Accesses may straddle a page boundary.
-func (m *Machine) loadN(s *Sequencer, va uint64, size uint) (uint64, *fault) {
+func (m *Machine) loadN(s *Sequencer, va uint64, size uint) (uint64, *trapFault) {
 	off := va & mem.PageMask
 	if off+uint64(size) <= mem.PageSize {
 		if m.dwOn && s.dwGen == s.TLB.Gen && s.CRs[isa.CR0]&isa.CR0Paging != 0 {
@@ -197,7 +197,7 @@ func (m *Machine) loadN(s *Sequencer, va uint64, size uint) (uint64, *fault) {
 }
 
 // storeN writes size bytes at va, little-endian.
-func (m *Machine) storeN(s *Sequencer, va uint64, size uint, v uint64) *fault {
+func (m *Machine) storeN(s *Sequencer, va uint64, size uint, v uint64) *trapFault {
 	off := va & mem.PageMask
 	if off+uint64(size) <= mem.PageSize {
 		if m.dwOn && s.dwGen == s.TLB.Gen && s.CRs[isa.CR0]&isa.CR0Paging != 0 {
@@ -262,19 +262,19 @@ func (m *Machine) storeN(s *Sequencer, va uint64, size uint, v uint64) *fault {
 // micro-cache and the decoded-instruction page cache. A fetch that hits
 // both caches costs two compares and an array read — no translation, no
 // physical read, no decode.
-func (m *Machine) fetchTranslate(s *Sequencer) (uint64, *fault) {
+func (m *Machine) fetchTranslate(s *Sequencer) (uint64, *trapFault) {
 	pc := s.PC
 	if pc%isa.WordSize != 0 {
-		return 0, &fault{trap: isa.TrapBadInstr, info: pc}
+		return 0, &trapFault{trap: isa.TrapBadInstr, info: pc}
 	}
 	if s.CRs[isa.CR0]&isa.CR0Paging == 0 {
 		if !m.Phys.InRange(pc, isa.WordSize) {
-			return 0, &fault{trap: isa.TrapGP, info: pc}
+			return 0, &trapFault{trap: isa.TrapGP, info: pc}
 		}
 		return pc &^ uint64(mem.PageMask), nil
 	}
 	if pc >= vaEncodeLimit {
-		return 0, &fault{trap: isa.TrapGP, info: pc}
+		return 0, &trapFault{trap: isa.TrapGP, info: pc}
 	}
 	vpn := pc >> mem.PageShift
 	if s.fetchVPN != vpn+1 {
@@ -303,7 +303,7 @@ func (m *Machine) fetchTranslate(s *Sequencer) (uint64, *fault) {
 // here. The decoded view is keyed on the physical page and its store
 // generation, so a store into the page (any sequencer, or DMA-ish
 // kernel copies) bumps the generation and drops it.
-func (m *Machine) fetchSlow(s *Sequencer) (isa.Instr, *fault) {
+func (m *Machine) fetchSlow(s *Sequencer) (isa.Instr, *trapFault) {
 	base, f := m.fetchTranslate(s)
 	if f != nil {
 		return isa.Instr{}, f
@@ -328,7 +328,7 @@ func (m *Machine) fetchSlow(s *Sequencer) (isa.Instr, *fault) {
 // fetchUncached is the seed interpreter's fetch — decode from memory on
 // every instruction. The legacy loop keeps it so the decode page cache
 // stays attributed to (and benchmarked as part of) the fast path.
-func (m *Machine) fetchUncached(s *Sequencer) (isa.Instr, *fault) {
+func (m *Machine) fetchUncached(s *Sequencer) (isa.Instr, *trapFault) {
 	base, f := m.fetchTranslate(s)
 	if f != nil {
 		return isa.Instr{}, f
@@ -339,7 +339,7 @@ func (m *Machine) fetchUncached(s *Sequencer) (isa.Instr, *fault) {
 // writeCtxFrame spills s's architectural context to the frame at va
 // (SAVECTX / firmware proxy save). pc is the frame's continuation PC;
 // f, when non-nil, records the pending trap that triggered the save.
-func (m *Machine) writeCtxFrame(s *Sequencer, va, pc uint64, f *fault) *fault {
+func (m *Machine) writeCtxFrame(s *Sequencer, va, pc uint64, f *trapFault) *trapFault {
 	for i := 0; i < isa.NumRegs; i++ {
 		if ff := m.storeN(s, va+isa.CtxRegs+uint64(i)*8, 8, s.Regs[i]); ff != nil {
 			return ff
@@ -366,7 +366,7 @@ func (m *Machine) writeCtxFrame(s *Sequencer, va, pc uint64, f *fault) *fault {
 
 // readCtxFrame installs the context frame at va into s (LDCTX /
 // firmware proxy restore). Execution continues at the frame's PC.
-func (m *Machine) readCtxFrame(s *Sequencer, va uint64) *fault {
+func (m *Machine) readCtxFrame(s *Sequencer, va uint64) *trapFault {
 	var regs [isa.NumRegs]uint64
 	var fregs [isa.NumRegs]float64
 	for i := 0; i < isa.NumRegs; i++ {

@@ -22,6 +22,10 @@ const (
 	// StateWaitProxy: an AMS that hit a proxy-triggering condition and
 	// is waiting for the OMS to complete proxy execution (§2.5).
 	StateWaitProxy
+	// StateDead: an AMS permanently killed by the fault plane (AMSKill).
+	// It never retires again; the kernel's health check reclaims its
+	// shred context and requeues the work on a live sequencer.
+	StateDead
 )
 
 func (s SeqState) String() string {
@@ -34,6 +38,8 @@ func (s SeqState) String() string {
 		return "suspend-ring"
 	case StateWaitProxy:
 		return "wait-proxy"
+	case StateDead:
+		return "dead"
 	}
 	return "state?"
 }
@@ -154,6 +160,11 @@ type Sequencer struct {
 	// proxyFrame is the save-area VA of the in-flight proxy context
 	// while in StateWaitProxy.
 	proxyFrame uint64
+	// proxyLost marks that the fault plane dropped this AMS's proxy
+	// request in flight: the AMS parked in StateWaitProxy but the OMS's
+	// pending-proxy queue never saw the request. The kernel health check
+	// detects the flag and re-posts the request (RecoverLostProxy).
+	proxyLost bool
 	// InProxy marks an OMS currently re-executing a proxied instruction
 	// (PROXYEXEC). The kernel must not block or context-switch the
 	// thread while this is set.
@@ -176,6 +187,18 @@ type Sequencer struct {
 
 	C SeqCounters
 }
+
+// StallStart returns when this sequencer last stopped making progress
+// (ring suspension, proxy wait, or fault-plane stall) — the kernel
+// health check reads it to age stuck AMSs.
+func (s *Sequencer) StallStart() uint64 { return s.stallStart }
+
+// ProxyLost reports whether this AMS's in-flight proxy request was
+// dropped by the fault plane (see RecoverLostProxy).
+func (s *Sequencer) ProxyLost() bool { return s.proxyLost }
+
+// PendingCount returns the number of queued ingress signals.
+func (s *Sequencer) PendingCount() int { return len(s.pending) }
 
 // Name returns a short identifier like "p0.oms" or "p1.ams2".
 func (s *Sequencer) Name() string {

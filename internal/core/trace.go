@@ -32,6 +32,9 @@ const (
 	EvProcExit     = obs.KProcExit
 	EvKernel       = obs.KKernel
 	EvRebind       = obs.KRebind
+	EvFaultInject  = obs.KFaultInject
+	EvFaultDetect  = obs.KFaultDetect
+	EvFaultRecover = obs.KFaultRecover
 )
 
 // Event is one fine-grained log record.

@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"misp/internal/core"
+	"misp/internal/fault"
+	"misp/internal/obs"
+	"misp/internal/report"
+	"misp/internal/shredlib"
+	"misp/internal/sweep"
+	"misp/internal/workloads"
+)
+
+// The resilience experiment sweeps fault rate × AMS count and measures
+// how the recovery plane (core watchdog + kernel AMS health check)
+// holds up: what fraction of seeded fault campaigns still complete
+// with the correct checksum, what recovery cost the runs that
+// completed, and how every non-completing run terminated. The contract
+// under test is the robustness invariant: every run either completes
+// correctly or ends in a structured fault.Diagnosis — never a hang,
+// never a panic.
+//
+// All reported numbers are deterministic (simulated cycles, counts,
+// seeded outcomes), so the CSV is byte-identical for any -parallel
+// value, like every other experiment in this package.
+
+// ResilienceOptions configures the resilience sweep.
+type ResilienceOptions struct {
+	Size workloads.Size
+	// App is the workload the campaigns run (default dense_mmm).
+	App string
+	// AMSCounts are the AMS-per-processor points (default 1, 3, 7).
+	AMSCounts []int
+	// Periods are the mean retirements-per-injection points, sweeping
+	// fault pressure from rare to brutal (default 200k, 50k, 10k).
+	Periods []uint64
+	// SeedsPerCell is how many seeded campaigns run per grid cell
+	// (default 5).
+	SeedsPerCell int
+	// Kinds restricts injection to the named kinds (default: all).
+	Kinds []fault.Kind
+	// Config, Parallel, SweepStats: as in Options.
+	Config     func(core.Topology) core.Config
+	Parallel   int
+	SweepStats *sweep.Stats
+}
+
+func (o *ResilienceOptions) defaults() {
+	if o.App == "" {
+		o.App = "dense_mmm"
+	}
+	if len(o.AMSCounts) == 0 {
+		o.AMSCounts = []int{1, 3, 7}
+	}
+	if len(o.Periods) == 0 {
+		o.Periods = []uint64{200_000, 50_000, 10_000}
+	}
+	if o.SeedsPerCell == 0 {
+		o.SeedsPerCell = 5
+	}
+	if o.Config == nil {
+		o.Config = workloads.DefaultConfig
+	}
+}
+
+// ResilienceRow is one (AMS count, fault period) cell aggregated over
+// its seeds.
+type ResilienceRow struct {
+	AMS    int
+	Period uint64
+	Seeds  int
+
+	Completed int // finished with the correct checksum
+	Diagnosed int // terminated with a structured fault.Diagnosis
+	Corrupted int // finished, but the checksum is wrong (silent corruption)
+
+	Injected  uint64 // total faults injected across the cell's runs
+	Detected  uint64 // faults the watchdog / health check noticed
+	Recovered uint64 // faults repaired (proxy re-posts, shred requeues)
+
+	// MeanOverhead is the mean cycles ratio of completed runs vs the
+	// fault-free baseline on the same topology (1.0 = free recovery).
+	MeanOverhead float64
+	// MeanRecoveryLat is the mean detection-to-repair latency in
+	// cycles across the cell's recoveries (0 when none).
+	MeanRecoveryLat float64
+}
+
+// campaignRun is one job's deterministic extract.
+type campaignRun struct {
+	outcome   string // "ok", "diagnosed", "corrupted"
+	cycles    uint64 // process cycles ("ok") or machine clock at stop
+	injected  uint64
+	detected  uint64
+	recovered uint64
+	latSum    uint64
+	latCount  uint64
+}
+
+// Resilience runs the fault-campaign sweep. A fault-free baseline that
+// fails, or a campaign that dies in a way that cannot even be
+// expressed as a Diagnosis, is a bug in the recovery plane — not a
+// data point — and fails the experiment. Campaigns the kernel killed
+// (e.g. a bit flip segfaulted the guest) are upgraded to a Diagnosis
+// here, exactly as a production harness would.
+func Resilience(opt ResilienceOptions) ([]ResilienceRow, error) {
+	opt.defaults()
+	w, err := workloads.ByName(opt.App)
+	if err != nil {
+		return nil, err
+	}
+	nA, nP, nS := len(opt.AMSCounts), len(opt.Periods), opt.SeedsPerCell
+	// Jobs 0..nA-1 are the fault-free baselines (one per topology); the
+	// campaigns follow in (ams, period, seed) order.
+	runs, st, err := sweep.Map(opt.Parallel, nA+nA*nP*nS, func(i int) (campaignRun, error) {
+		var cfg core.Config
+		if i < nA {
+			cfg = opt.Config(core.Topology{opt.AMSCounts[i]})
+		} else {
+			j := i - nA
+			ai, pi, si := j/(nP*nS), (j/nS)%nP, j%nS
+			cfg = opt.Config(core.Topology{opt.AMSCounts[ai]})
+			cfg.Fault = fault.Uniform(uint64(si)*1_000_003+7, opt.Periods[pi], opt.Kinds...)
+		}
+		pr, err := workloads.Prepare(w, shredlib.ModeShred, cfg, opt.Size)
+		if err != nil {
+			return campaignRun{}, err
+		}
+		res, runErr := pr.Run()
+		out := campaignRun{cycles: pr.Machine.MaxClock()}
+		if plan := pr.Machine.FaultPlan(); plan != nil {
+			out.injected = plan.Total()
+		}
+		reg := pr.Machine.Obs.Metrics
+		out.detected = reg.CounterValue(obs.MFaultDetected)
+		out.recovered = reg.CounterValue(obs.MFaultRecovered)
+		lat := reg.Histogram(obs.MFaultRecoveryLat)
+		out.latSum, out.latCount = lat.Sum(), lat.Count()
+		switch {
+		case runErr == nil:
+			if err := checkRun(w, res, "resilience", opt.Size); err != nil {
+				if i < nA {
+					return campaignRun{}, err // the baseline must be correct
+				}
+				out.outcome = "corrupted"
+			} else {
+				out.outcome = "ok"
+				out.cycles = res.Cycles
+			}
+		case isDiagnosis(runErr):
+			if i < nA {
+				return campaignRun{}, runErr
+			}
+			out.outcome = "diagnosed"
+		case i >= nA:
+			out.outcome = "diagnosed"
+		default:
+			return campaignRun{}, runErr
+		}
+		return out, nil
+	})
+	if opt.SweepStats != nil {
+		opt.SweepStats.Jobs += st.Jobs
+		opt.SweepStats.Wall += st.Wall
+		opt.SweepStats.Busy += st.Busy
+		if st.Workers > opt.SweepStats.Workers {
+			opt.SweepStats.Workers = st.Workers
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ResilienceRow
+	for ai, ams := range opt.AMSCounts {
+		base := runs[ai].cycles
+		for pi, period := range opt.Periods {
+			row := ResilienceRow{AMS: ams, Period: period, Seeds: nS}
+			var overheadSum float64
+			var latSum, latCount uint64
+			for si := 0; si < nS; si++ {
+				r := runs[nA+ai*nP*nS+pi*nS+si]
+				switch r.outcome {
+				case "ok":
+					row.Completed++
+					if base > 0 {
+						overheadSum += float64(r.cycles) / float64(base)
+					}
+				case "diagnosed":
+					row.Diagnosed++
+				case "corrupted":
+					row.Corrupted++
+				}
+				row.Injected += r.injected
+				row.Detected += r.detected
+				row.Recovered += r.recovered
+				latSum += r.latSum
+				latCount += r.latCount
+			}
+			if row.Completed > 0 {
+				row.MeanOverhead = overheadSum / float64(row.Completed)
+			}
+			if latCount > 0 {
+				row.MeanRecoveryLat = float64(latSum) / float64(latCount)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func isDiagnosis(err error) bool {
+	var d *fault.Diagnosis
+	return errors.As(err, &d)
+}
+
+// ResilienceTable renders the sweep.
+func ResilienceTable(rows []ResilienceRow) *report.Table {
+	t := &report.Table{
+		Title: "Resilience — fault rate x AMS count (seeded campaigns)",
+		Cols: []string{"ams", "period", "seeds", "ok", "diagnosed", "corrupted",
+			"completion", "injected", "detected", "recovered", "overhead", "recov lat"},
+	}
+	for _, r := range rows {
+		t.Add(r.AMS, r.Period, r.Seeds, r.Completed, r.Diagnosed, r.Corrupted,
+			fmt.Sprintf("%.0f%%", 100*float64(r.Completed)/float64(r.Seeds)),
+			r.Injected, r.Detected, r.Recovered,
+			fmt.Sprintf("%.3fx", r.MeanOverhead),
+			fmt.Sprintf("%.0f", r.MeanRecoveryLat))
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package kernel
+
+import (
+	"testing"
+
+	"misp/internal/asm"
+	"misp/internal/core"
+	"misp/internal/fault"
+)
+
+// TestPreemptionUnderAMSStalls: a frozen AMS must not starve anyone.
+// A shredded process (whose shred runs on the repeatedly-stalled AMS)
+// competes with plain spinners on one MISP processor; the scheduler
+// must keep preempting and rotating the OMS among the processes while
+// the AMS freezes come and go, and every process must still exit with
+// the exact answer.
+func TestPreemptionUnderAMSStalls(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 2} {
+		cfg := testCfg(core.Topology{1})
+		cfg.Fault = fault.Uniform(seed, 5_000, fault.AMSStall)
+		cfg.Fault.StallCycles = 200_000 // 10 timer ticks per freeze
+		k, m := newKernelT(t, cfg)
+		ps, _ := k.Spawn("shredded", asm.MustAssemble(shreddedProg))
+		pa, _ := k.Spawn("loadA", asm.MustAssemble(spinProg))
+		pb, _ := k.Spawn("loadB", asm.MustAssemble(spinProg))
+		runK(t, k, m)
+		if !ps.Exited || !pa.Exited || !pb.Exited {
+			t.Fatalf("seed %d: not all processes exited", seed)
+		}
+		if ps.ExitCode != 120000 {
+			t.Fatalf("seed %d: shred counter = %d, want 120000", seed, ps.ExitCode)
+		}
+		if pa.ExitCode != 1 || pb.ExitCode != 1 {
+			t.Fatalf("seed %d: spinner exits %d/%d, want 1/1", seed, pa.ExitCode, pb.ExitCode)
+		}
+		if k.Stats.Switches < 4 {
+			t.Fatalf("seed %d: scheduler stopped rotating under stalls: %d switches",
+				seed, k.Stats.Switches)
+		}
+		if plan := m.FaultPlan(); plan.Counts()[fault.AMSStall] == 0 {
+			t.Fatalf("seed %d: no stall ever injected — test is vacuous", seed)
+		}
+	}
+}
+
+// TestHealthCheckDeterminism replays a faulty multi-process run and
+// demands identical global progress — the health check, backlog, and
+// recovery paths must be as deterministic as the rest of the machine.
+func TestHealthCheckDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		cfg := testCfg(core.Topology{1, 0})
+		cfg.Fault = fault.Uniform(11, 8_000, fault.AMSStall, fault.ProxyDrop)
+		k, m := newKernelT(t, cfg)
+		a, _ := k.Spawn("shred", asm.MustAssemble(shreddedProg))
+		b, _ := k.Spawn("threads", asm.MustAssemble(threadsProg))
+		runK(t, k, m)
+		return a.ExitTime + b.ExitTime, m.Steps, k.Stats.Detected + k.Stats.Recovered
+	}
+	t1, s1, r1 := run()
+	t2, s2, r2 := run()
+	if t1 != t2 || s1 != s2 || r1 != r2 {
+		t.Fatalf("nondeterministic: times %d/%d steps %d/%d recovery %d/%d",
+			t1, t2, s1, s2, r1, r2)
+	}
+}

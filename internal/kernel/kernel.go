@@ -88,6 +88,8 @@ type Stats struct {
 	PageFaults uint64
 	IPIs       uint64
 	Rebinds    uint64
+	Detected   uint64 // injected faults the health check noticed
+	Recovered  uint64 // faults repaired (proxy re-posts + shred requeues)
 }
 
 // Kernel is the operating system instance attached to one machine.
@@ -119,22 +121,35 @@ type Kernel struct {
 	// internal/exp) read scheduler activity from one place.
 	mx kernMetrics
 
+	// AMS health-check state (health.go): seenDead records first
+	// sightings for detection accounting, latched marks corpses whose
+	// one recovery attempt has been spent, backlog parks continuations
+	// per PID until the guest gang queue has room.
+	seenDead map[int]bool
+	latched  map[int]bool
+	backlog  map[int][]qentry
+
 	fatal error
 }
 
 // kernMetrics are the kernel's pre-resolved registry handles.
 type kernMetrics struct {
 	ticks, syscalls, pageFaults, ipis, switches, rebinds *obs.Counter
+	faultDetected, faultRecovered                        *obs.Counter
+	recoveryLat                                          *obs.Histogram
 }
 
 // New creates a kernel, attaches it to m, and arms every OMS timer.
 func New(m *core.Machine) *Kernel {
 	k := &Kernel{
-		M:       m,
-		Procs:   make(map[int]*Process),
-		Threads: make(map[int]*Thread),
-		nextPID: 1,
-		nextTID: 1,
+		M:        m,
+		Procs:    make(map[int]*Process),
+		Threads:  make(map[int]*Thread),
+		nextPID:  1,
+		nextTID:  1,
+		seenDead: make(map[int]bool),
+		latched:  make(map[int]bool),
+		backlog:  make(map[int][]qentry),
 	}
 	for _, p := range m.Procs {
 		p.OMS().TimerDeadline = m.Cfg.TimerInterval
@@ -147,6 +162,10 @@ func New(m *core.Machine) *Kernel {
 		ipis:       reg.Counter(obs.MKIPIs),
 		switches:   reg.Counter(obs.MKSwitches),
 		rebinds:    reg.Counter(obs.MKRebinds),
+
+		faultDetected:  reg.Counter(obs.MFaultDetected),
+		faultRecovered: reg.Counter(obs.MFaultRecovered),
+		recoveryLat:    reg.Histogram(obs.MFaultRecoveryLat),
 	}
 	m.SetOS(k)
 	return k

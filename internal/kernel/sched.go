@@ -99,6 +99,7 @@ func (k *Kernel) timerTick(s *core.Sequencer, tick bool) {
 	s.TimerDeadline = next
 
 	k.wakeSleepers(s.Clock)
+	k.checkAMSHealth(s)
 
 	t := k.current(s)
 	if t != nil {
@@ -210,6 +211,13 @@ func (k *Kernel) switchTo(s *core.Sequencer, t *Thread) {
 	ams := proc.AMSs()
 	for i := range ams {
 		if i < len(t.AMSStates) {
+			if ams[i].State == core.StateDead {
+				// The sequencer died while this thread was off-processor;
+				// its saved state cannot be restored. Requeue any live
+				// shred context instead of resurrecting dead hardware.
+				k.requeueSavedState(s, t, ams[i], &t.AMSStates[i])
+				continue
+			}
 			k.M.RestoreSeqForSwitch(ams[i], t.AMSStates[i], now)
 			ams[i].CurTID = t.TID
 		}

@@ -67,6 +67,9 @@ func (pt *PageTable) Map(va uint64, frame uint32, flags uint32) error {
 	pdePA := pt.RootPA() + pdIndex(va)*4
 	pde := pt.Phys.ReadU32(pdePA)
 	var tabFrame uint32
+	if pde&PTEPresent != 0 && !pt.Phys.frameValid(pteFrame(pde)) {
+		return fmt.Errorf("mem: Map: corrupt PDE 0x%x for va 0x%x", pde, va)
+	}
 	if pde&PTEPresent == 0 {
 		f, err := pt.Phys.AllocFrame()
 		if err != nil {
@@ -86,7 +89,7 @@ func (pt *PageTable) Map(va uint64, frame uint32, flags uint32) error {
 // mapped and whether a mapping existed. The frame is not freed.
 func (pt *PageTable) Unmap(va uint64) (uint32, bool) {
 	pde := pt.Phys.ReadU32(pt.RootPA() + pdIndex(va)*4)
-	if pde&PTEPresent == 0 {
+	if pde&PTEPresent == 0 || !pt.Phys.frameValid(pteFrame(pde)) {
 		return 0, false
 	}
 	ptePA := uint64(pteFrame(pde))<<PageShift + ptIndex(va)*4
@@ -104,11 +107,11 @@ func (pt *PageTable) Lookup(va uint64) (uint32, bool) {
 		return 0, false
 	}
 	pde := pt.Phys.ReadU32(pt.RootPA() + pdIndex(va)*4)
-	if pde&PTEPresent == 0 {
+	if pde&PTEPresent == 0 || !pt.Phys.frameValid(pteFrame(pde)) {
 		return 0, false
 	}
 	pte := pt.Phys.ReadU32(uint64(pteFrame(pde))<<PageShift + ptIndex(va)*4)
-	if pte&PTEPresent == 0 {
+	if pte&PTEPresent == 0 || !pt.Phys.frameValid(pteFrame(pte)) {
 		return 0, false
 	}
 	return pte, true
@@ -175,11 +178,11 @@ func Walk(p *Phys, cr3 uint64, va uint64, write, user bool) (uint32, FaultKind) 
 		return 0, FaultNotPresent
 	}
 	pde := p.ReadU32(cr3 + pdIndex(va)*4)
-	if pde&PTEPresent == 0 {
+	if pde&PTEPresent == 0 || !p.frameValid(pteFrame(pde)) {
 		return 0, FaultNotPresent
 	}
 	pte := p.ReadU32(uint64(pteFrame(pde))<<PageShift + ptIndex(va)*4)
-	if pte&PTEPresent == 0 {
+	if pte&PTEPresent == 0 || !p.frameValid(pteFrame(pte)) {
 		return 0, FaultNotPresent
 	}
 	if write && pte&PTEWritable == 0 {

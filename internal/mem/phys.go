@@ -84,6 +84,21 @@ func (p *Phys) FreeFrame(f uint32) {
 	p.free = append(p.free, f)
 }
 
+// FlipBit flips one bit of physical memory (the fault plane's
+// bit-flip primitive). pa is reduced modulo the memory size and bit
+// modulo 8, so any 64-bit draw addresses a valid bit deterministically.
+func (p *Phys) FlipBit(pa uint64, bit uint) {
+	pa %= uint64(len(p.data))
+	p.gens[pa>>PageShift]++
+	p.data[pa] ^= 1 << (bit & 7)
+}
+
+// frameValid reports whether f denotes an existing, non-reserved frame.
+// Page-table consumers check extracted frame numbers against it so a
+// bit flip landing in a page table yields an architectural fault
+// instead of an out-of-bounds slice access in the simulator.
+func (p *Phys) frameValid(f uint32) bool { return f != 0 && f < p.numFrames }
+
 // InRange reports whether the physical byte range [pa, pa+n) is valid.
 func (p *Phys) InRange(pa, n uint64) bool {
 	return pa < uint64(len(p.data)) && n <= uint64(len(p.data))-pa

@@ -160,7 +160,11 @@ func (s *Space) Translate(va uint64, write bool) (uint64, error) {
 	if write && pte&PTEWritable == 0 {
 		return 0, fmt.Errorf("mem: kernel write to read-only page 0x%x", va)
 	}
-	return uint64(pteFrame(pte))<<PageShift | (va & PageMask), nil
+	pa := uint64(pteFrame(pte))<<PageShift | (va & PageMask)
+	if !s.Phys.InRange(pa, 1) {
+		return 0, fmt.Errorf("mem: kernel access through corrupt PTE 0x%x at 0x%x", pte, va)
+	}
+	return pa, nil
 }
 
 // ReadBytes copies n bytes from the space at va (kernel path).

@@ -68,6 +68,25 @@ func (t *TLB) Flush() {
 	t.Gen++
 }
 
+// CorruptWritable is the fault plane's TLB-corruption primitive: it
+// downgrades the write permission of a resident writable entry (chosen
+// by scanning from r's slot), returning whether one was found. The
+// downgrade is architecturally recoverable — the next store through the
+// entry takes a permission miss and re-walks — but it perturbs timing
+// and exercises the PermMiss path. Gen advances so derived caches (the
+// sequencer's data window) drop the stale permission too.
+func (t *TLB) CorruptWritable(r uint64) bool {
+	for i := uint64(0); i < tlbEntries; i++ {
+		e := &t.entries[(r+i)&(tlbEntries-1)]
+		if e.vpn != 0 && e.write {
+			e.write = false
+			t.Gen++
+			return true
+		}
+	}
+	return false
+}
+
 // FlushPage invalidates the entry for one page (INVLPG). Gen advances
 // only when an entry is actually evicted: a no-op flush leaves every
 // cached translation intact, so derived caches stay valid.

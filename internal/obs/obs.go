@@ -30,6 +30,11 @@ const (
 	KProcExit
 	KKernel
 	KRebind
+	// Fault plane (internal/fault): an injected fault, the kernel (or
+	// watchdog) noticing one, and a completed recovery action.
+	KFaultInject
+	KFaultDetect
+	KFaultRecover
 	NumKinds
 )
 
@@ -37,7 +42,7 @@ var kindNames = [NumKinds]string{
 	"ring-enter", "ring-exit", "suspend-ams", "resume-ams",
 	"signal-send", "signal-start", "proxy-request", "proxy-deliver",
 	"proxy-done", "yield", "sret", "ctx-switch", "proc-exit", "kernel",
-	"rebind-ams",
+	"rebind-ams", "fault-inject", "fault-detect", "fault-recover",
 }
 
 func (k Kind) String() string {
@@ -271,4 +276,12 @@ const (
 	MKIPIs       = "kernel.ipis"
 	MKSwitches   = "kernel.ctx_switches"
 	MKRebinds    = "kernel.rebinds"
+
+	// Fault plane: injections performed by the plan, faults detected by
+	// the kernel health check or core watchdog, recoveries completed,
+	// and the detection-to-recovery latency histogram (cycles).
+	MFaultInjected    = "fault.injected"
+	MFaultDetected    = "fault.detected"
+	MFaultRecovered   = "fault.recovered"
+	MFaultRecoveryLat = "fault.recovery_latency_cycles"
 )

@@ -1,0 +1,162 @@
+// Package arena pins down the ShredLib runtime arena ABI: the guest
+// virtual-address layout of the runtime control block, the gang work
+// queue, and the per-sequencer TLS blocks that the emitted assembly in
+// package shredlib operates on. It is a leaf package so the kernel's
+// AMS failure recovery (internal/kernel/health.go) can interpret and
+// mutate runtime state from the host side without importing the
+// emitter — shredlib's own tests exercise the kernel, so a
+// kernel→shredlib edge would be an import cycle.
+package arena
+
+import (
+	"fmt"
+
+	"misp/internal/asm"
+	"misp/internal/mem"
+)
+
+// Runtime arena layout. The firmware save areas occupy the start of the
+// arena (core.SaveAreaBase); the runtime's structures follow.
+const (
+	// RTBase is the runtime control block.
+	RTBase = asm.RuntimeArenaBase + 0x8000
+
+	OffQLock     = 0   // work-queue spinlock
+	OffQHead     = 8   // dequeue index (monotonic)
+	OffQTail     = 16  // enqueue index (monotonic)
+	OffCreated   = 24  // shreds created (monotonic)
+	OffDone      = 32  // shreds completed (monotonic)
+	OffDoneFlag  = 40  // shutdown flag
+	OffStackNext = 48  // bump allocator for shred stacks
+	OffFlags     = 56  // runtime flags (FlagYieldOnIdle)
+	OffSLock     = 64  // stack freelist spinlock
+	OffSFreeTop  = 72  // stack freelist depth
+	OffTLSNext   = 80  // TLS slot bump allocator
+	OffHNext     = 88  // shred handle bump allocator
+	OffClaimed   = 128 // per-processor claim bitmap: 64 u64 slots
+	OffStarted   = 640 // per-processor started-worker counts: 64 u64 slots
+
+	// QueueBase is the continuation ring buffer: QCap entries of
+	// (IP, SP), 16 bytes each.
+	QueueBase = RTBase + 0x1000
+	QCap      = 16384
+
+	// SFreeBase is the stack freelist array (stack base addresses).
+	SFreeBase = QueueBase + QCap*16
+
+	// TLSBase holds 64 bytes of per-sequencer runtime state, indexed by
+	// global sequencer ID.
+	TLSBase = SFreeBase + 2048*8
+
+	TLSSchedSP  = 0  // scheduler stack pointer
+	TLSLoopTop  = 8  // scheduler loop re-entry address
+	TLSFreePend = 16 // shred stack awaiting recycling
+	TLSIdleSpin = 24 // empty-queue iterations since the last OS yield
+	TLSJoinFlag = 32 // rt_join_drain: address of the awaited done flag
+	TLSUser     = 40 // start of the 24-byte user TLS block (rt_tls_get)
+	TLSSlots    = 64
+
+	// TopoBuf receives the SysTopology result.
+	TopoBuf = TLSBase + 64*TLSSlots
+
+	// HandlesBase is the shred handle table used by the POSIX veneer
+	// (pthread_create/pthread_join): HandleCap entries of
+	// [done flag, return value], 16 bytes each.
+	HandlesBase = TopoBuf + 1024
+	HandleCap   = 4096
+
+	// ScratchBase is free for workload use (locks, barriers, results).
+	ScratchBase = HandlesBase + HandleCap*16
+
+	// ArenaUsedEnd bounds the region rt_init prefaults.
+	ArenaUsedEnd = ScratchBase + 0x10000
+)
+
+// ResultAddr is where workloads store their checksum for host-side
+// validation (first scratch word).
+const ResultAddr = ScratchBase
+
+// The two functions below are the kernel's window into the arena for
+// AMS failure recovery. When a sequencer dies mid-shred the kernel
+// holds a context snapshot and must decide: is this a *shred* context
+// (safe to requeue on the gang work queue, where a live worker will
+// resume it) or a *scheduler-loop* context (must NOT be requeued — a
+// worker that popped a parked loopAMS scheduler loop would never
+// return to its own loop, and the main thread's drain helper would
+// hang on it)?
+//
+// The classification uses the stack-slab identity: every context's TLS
+// block parks the scheduler stack pointer at TLSSchedSP, and shred
+// stacks come from rt_alloc_stack in distinct StackSize-aligned slabs.
+// A context whose SP lives in the same slab as its own scheduler SP is
+// the scheduler loop itself; any other slab means a shred. Nested
+// drain helpers (rt_join_drain and friends) run on the scheduler
+// stack, so they classify as scheduler contexts and are correctly
+// reclaimed rather than requeued.
+
+// ClassifyDeadContext reports whether a context snapshot taken from a
+// dead sequencer is a shred (true: safe to requeue) or a runtime
+// scheduler context (false: reclaim only). tp and sp are the dead
+// context's thread pointer and stack pointer. An error means the
+// context does not look like a ShredLib context at all (e.g. a bareos
+// program with a foreign TP) and nothing about it can be trusted.
+func ClassifyDeadContext(space *mem.Space, tp, sp uint64) (bool, error) {
+	if tp < TLSBase || tp >= TLSBase+64*TLSSlots {
+		return false, fmt.Errorf("shredlib: tp 0x%x outside the TLS arena", tp)
+	}
+	schedSP, err := space.ReadU64(tp + TLSSchedSP)
+	if err != nil {
+		return false, fmt.Errorf("shredlib: reading sched SP: %w", err)
+	}
+	if schedSP == 0 {
+		// TLS block never initialised: this context never entered a
+		// scheduler loop, so it cannot be a queued-shred continuation.
+		return false, nil
+	}
+	const mask = ^uint64(asm.StackSize - 1)
+	return sp&mask != schedSP&mask, nil
+}
+
+// TryEnqueueContinuation appends an (ip, sp) entry to the gang work
+// queue, exactly as rt_shred_create does minus the created-counter
+// bump (a recovered shred was already counted at creation; counting it
+// again would deadlock the drain loops waiting for created == done).
+//
+// The kernel runs atomically within a single ring-0 episode of the
+// discrete-event simulation — no guest instruction interleaves — so
+// plain reads and writes are safe. The only hazard is a guest that
+// held the queue lock when it was interrupted: its critical section
+// will resume, so the kernel must not mutate past it. In that case
+// (and when the queue is full) the enqueue fails transiently: ok is
+// false with a nil error, and the caller retries on a later tick.
+func TryEnqueueContinuation(space *mem.Space, ip, sp uint64) (bool, error) {
+	lock, err := space.ReadU64(RTBase + OffQLock)
+	if err != nil {
+		return false, err
+	}
+	if lock != 0 {
+		return false, nil // a guest is mid-critical-section; retry later
+	}
+	head, err := space.ReadU64(RTBase + OffQHead)
+	if err != nil {
+		return false, err
+	}
+	tail, err := space.ReadU64(RTBase + OffQTail)
+	if err != nil {
+		return false, err
+	}
+	if tail-head >= QCap {
+		return false, nil
+	}
+	slot := QueueBase + (tail&(QCap-1))*16
+	if err := space.WriteU64(slot, ip); err != nil {
+		return false, err
+	}
+	if err := space.WriteU64(slot+8, sp); err != nil {
+		return false, err
+	}
+	if err := space.WriteU64(RTBase+OffQTail, tail+1); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -15,7 +15,7 @@
 // header and recompile" (§5.5).
 package shredlib
 
-import "misp/internal/asm"
+import "misp/internal/shredlib/arena"
 
 // Mode selects which runtime Emit generates.
 type Mode int
@@ -34,46 +34,48 @@ func (m Mode) String() string {
 	return "shredlib"
 }
 
-// Runtime arena layout. The firmware save areas occupy the start of the
-// arena (core.SaveAreaBase); the runtime's structures follow.
+// Runtime arena layout. The authoritative constants live in the leaf
+// package internal/shredlib/arena so the kernel's AMS failure recovery
+// can share them without importing the emitter; the aliases below keep
+// the emitter code and its tests reading naturally.
 const (
 	// RTBase is the runtime control block.
-	RTBase = asm.RuntimeArenaBase + 0x8000
+	RTBase = arena.RTBase
 
-	offQLock     = 0   // work-queue spinlock
-	offQHead     = 8   // dequeue index (monotonic)
-	offQTail     = 16  // enqueue index (monotonic)
-	offCreated   = 24  // shreds created (monotonic)
-	offDone      = 32  // shreds completed (monotonic)
-	offDoneFlag  = 40  // shutdown flag
-	offStackNext = 48  // bump allocator for shred stacks
-	offFlags     = 56  // runtime flags (FlagYieldOnIdle)
-	offSLock     = 64  // stack freelist spinlock
-	offSFreeTop  = 72  // stack freelist depth
-	offTLSNext   = 80  // TLS slot bump allocator
-	offHNext     = 88  // shred handle bump allocator
-	offClaimed   = 128 // per-processor claim bitmap: 64 u64 slots
-	offStarted   = 640 // per-processor started-worker counts: 64 u64 slots
+	offQLock     = arena.OffQLock
+	offQHead     = arena.OffQHead
+	offQTail     = arena.OffQTail
+	offCreated   = arena.OffCreated
+	offDone      = arena.OffDone
+	offDoneFlag  = arena.OffDoneFlag
+	offStackNext = arena.OffStackNext
+	offFlags     = arena.OffFlags
+	offSLock     = arena.OffSLock
+	offSFreeTop  = arena.OffSFreeTop
+	offTLSNext   = arena.OffTLSNext
+	offHNext     = arena.OffHNext
+	offClaimed   = arena.OffClaimed
+	offStarted   = arena.OffStarted
 
 	// QueueBase is the continuation ring buffer: QCap entries of
 	// (IP, SP), 16 bytes each.
-	QueueBase = RTBase + 0x1000
-	QCap      = 16384
+	QueueBase = arena.QueueBase
+	QCap      = arena.QCap
 
 	// SFreeBase is the stack freelist array (stack base addresses).
-	SFreeBase = QueueBase + QCap*16
+	SFreeBase = arena.SFreeBase
 
 	// TLSBase holds 64 bytes of per-sequencer runtime state, indexed by
 	// global sequencer ID.
-	TLSBase = SFreeBase + 2048*8
+	TLSBase = arena.TLSBase
 
-	tlsSchedSP  = 0  // scheduler stack pointer
-	tlsLoopTop  = 8  // scheduler loop re-entry address
-	tlsFreePend = 16 // shred stack awaiting recycling
-	tlsIdleSpin = 24 // empty-queue iterations since the last OS yield
-	tlsJoinFlag = 32 // rt_join_drain: address of the awaited done flag
-	tlsUser     = 40 // start of the 24-byte user TLS block (rt_tls_get)
-	tlsSlots    = 64
+	tlsSchedSP  = arena.TLSSchedSP
+	tlsLoopTop  = arena.TLSLoopTop
+	tlsFreePend = arena.TLSFreePend
+	tlsIdleSpin = arena.TLSIdleSpin
+	tlsJoinFlag = arena.TLSJoinFlag
+	tlsUser     = arena.TLSUser
+	tlsSlots    = arena.TLSSlots
 
 	// yieldSpinThreshold is how many empty-queue iterations an
 	// OS-visible gang scheduler spins before yielding to the OS when
@@ -83,19 +85,19 @@ const (
 	yieldSpinThreshold = 2048
 
 	// TopoBuf receives the SysTopology result.
-	TopoBuf = TLSBase + 64*tlsSlots
+	TopoBuf = arena.TopoBuf
 
 	// HandlesBase is the shred handle table used by the POSIX veneer
 	// (pthread_create/pthread_join): HandleCap entries of
 	// [done flag, return value], 16 bytes each.
-	HandlesBase = TopoBuf + 1024
-	HandleCap   = 4096
+	HandlesBase = arena.HandlesBase
+	HandleCap   = arena.HandleCap
 
 	// ScratchBase is free for workload use (locks, barriers, results).
-	ScratchBase = HandlesBase + HandleCap*16
+	ScratchBase = arena.ScratchBase
 
 	// ArenaUsedEnd bounds the region rt_init prefaults.
-	ArenaUsedEnd = ScratchBase + 0x10000
+	ArenaUsedEnd = arena.ArenaUsedEnd
 )
 
 // Runtime flag bits (rt_init argument).
@@ -124,4 +126,4 @@ const (
 
 // ResultAddr is where workloads store their checksum for host-side
 // validation (first scratch word).
-const ResultAddr = ScratchBase
+const ResultAddr = arena.ResultAddr

@@ -85,6 +85,30 @@ func (e *emitter) emitPosix() {
 	b.Pop(lr, r10)
 	b.Ret()
 
+	// pthread_timedjoin(handle, budget) -> r0 = 0 when joined, 110
+	// (ETIMEDOUT) when budget cycles elapsed first. The shred's return
+	// value stays readable at handle+8 after a successful join; a timed-
+	// out join may be retried.
+	tjoined := e.lbl("ptjok")
+	b.Label("pthread_timedjoin")
+	b.Push(lr, r10)
+	b.Mov(r10, r1)
+	b.Ld(r6, r10, 0)
+	b.Li(r9, 0)
+	b.Bne(r6, r9, tjoined)
+	b.Mov(r1, r10) // done-flag address; r2 already carries the budget
+	b.Call("rt_join_drain_timeout")
+	b.Ld(r6, r10, 0)
+	b.Li(r9, 0)
+	b.Bne(r6, r9, tjoined)
+	b.Li(r0, 110) // ETIMEDOUT
+	b.Pop(lr, r10)
+	b.Ret()
+	b.Label(tjoined)
+	b.Li(r0, 0)
+	b.Pop(lr, r10)
+	b.Ret()
+
 	// Mutex / condition / semaphore translations (tail jumps).
 	b.Label("pthread_mutex_init")
 	b.Label("pthread_cond_init")

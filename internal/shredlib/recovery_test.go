@@ -1,0 +1,281 @@
+package shredlib
+
+import (
+	"errors"
+	"testing"
+
+	"misp/internal/asm"
+	"misp/internal/core"
+	"misp/internal/fault"
+	"misp/internal/kernel"
+)
+
+// Recovery tests: ShredLib programs on a kernel-managed machine with
+// the fault plane active. The kernel's AMS health check must keep the
+// gang scheduler making progress — re-posting lost proxies, requeueing
+// shreds off dead sequencers — and the POSIX layer's join paths must
+// tolerate workers that stall or die.
+
+// faultCfg is the kernel-style test config (fast timer ticks so
+// detection latency stays small) with a bounded cycle budget.
+func faultCfg(top core.Topology) core.Config {
+	cfg := core.DefaultConfig(top)
+	cfg.PhysMem = 64 << 20
+	cfg.MaxCycles = 2_000_000_000
+	cfg.TimerInterval = 20_000
+	return cfg
+}
+
+// runFault runs prog and returns the terminal error instead of failing
+// the test on it (fault campaigns are allowed to die — structurally).
+func runFault(t *testing.T, cfg core.Config, prog *asm.Program) (*kernel.Process, *core.Machine, *kernel.Kernel, error) {
+	t.Helper()
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(m)
+	p, err := k.Spawn("test", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := m.Run()
+	if runErr == nil {
+		runErr = k.Err()
+	}
+	return p, m, k, runErr
+}
+
+// TestParforUnderAMSStalls: transient AMS freezes must never starve
+// runnable shreds — the scheduler keeps the live sequencers busy and
+// the stalled one rejoins when its freeze expires. Every seed must
+// complete with the exact sum.
+func TestParforUnderAMSStalls(t *testing.T) {
+	prog := sumProgram(ModeShred, 4000, 100)
+	for seed := uint64(0); seed < 3; seed++ {
+		cfg := faultCfg(core.Topology{3})
+		cfg.Fault = fault.Uniform(seed, 5_000, fault.AMSStall)
+		cfg.Fault.StallCycles = 100_000
+		p, _, _, err := runFault(t, cfg, prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if p.ExitCode != 7998000 {
+			t.Fatalf("seed %d: sum = %d, want 7998000", seed, p.ExitCode)
+		}
+	}
+}
+
+// TestParforAllProxiesLost drops EVERY proxy request in flight
+// (period 1). The run can only finish because the kernel health check
+// detects each parked-but-forgotten AMS and re-posts its request. The
+// parfor body stores each chunk sum into an untouched heap region, so
+// every chunk takes at least one proxy page fault on its AMS.
+func TestParforAllProxiesLost(t *testing.T) {
+	const heap = 0x0800_0000
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog()
+	b.La(r1, "pl_body")
+	b.Li(r2, 0)
+	b.Li(r3, 4000)
+	b.Li(r4, 100)
+	b.Call("rt_parfor")
+	b.La(r6, "cell")
+	b.Ld(r0, r6, 0)
+	b.Epilog()
+
+	// pl_body(lo, hi): sum the chunk, park the partial in untouched
+	// heap (proxy PF), then fold it into the shared cell.
+	b.Label("pl_body")
+	b.Li(r6, 0)
+	b.Mov(r9, r1) // lo
+	b.Label("pl_loop")
+	b.Bge(r1, r2, "pl_done")
+	b.Add(r6, r6, r1)
+	b.Addi(r1, r1, 1)
+	b.Jmp("pl_loop")
+	b.Label("pl_done")
+	b.Li(r7, heap)
+	b.Shli(r8, r9, 9) // lo*512: one page per chunk of 100
+	b.Add(r7, r7, r8)
+	b.St(r6, r7, 0) // proxy page fault
+	b.Ld(r6, r7, 0)
+	b.La(r7, "cell")
+	b.Aadd(r8, r7, r6)
+	b.Ret()
+	b.DataU64("cell", 0)
+
+	cfg := faultCfg(core.Topology{3})
+	cfg.Fault = fault.Uniform(7, 1, fault.ProxyDrop)
+	p, _, k, err := runFault(t, cfg, b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 7998000 {
+		t.Fatalf("sum = %d, want 7998000", p.ExitCode)
+	}
+	if k.Stats.Detected == 0 || k.Stats.Recovered == 0 {
+		t.Fatalf("no recovery recorded: detected=%d recovered=%d (did any proxy fire?)",
+			k.Stats.Detected, k.Stats.Recovered)
+	}
+}
+
+// TestParforSurvivesAMSKill permanently kills sequencers mid-parfor.
+// Per seed the run must either complete with the exact sum (the killed
+// worker's shred was requeued on a live AMS) or terminate in a
+// structured Diagnosis (the shred died unrecoverably, e.g. inside a
+// yield handler) — never hang, never exit with a wrong sum. Across the
+// seed set, at least one genuine requeue-recovery must complete.
+func TestParforSurvivesAMSKill(t *testing.T) {
+	prog := sumProgram(ModeShred, 4000, 100)
+	recovered := false
+	for seed := uint64(0); seed < 6; seed++ {
+		cfg := faultCfg(core.Topology{7})
+		cfg.Fault = fault.Uniform(seed, 30_000, fault.AMSKill)
+		cfg.Fault.Max[fault.AMSKill] = 2
+		p, m, k, err := runFault(t, cfg, prog)
+		if err != nil {
+			var d *fault.Diagnosis
+			if !errors.As(err, &d) {
+				t.Fatalf("seed %d: abort is not a Diagnosis: %v", seed, err)
+			}
+			continue
+		}
+		if p.ExitCode != 7998000 {
+			t.Fatalf("seed %d: sum = %d, want 7998000 (silent loss)", seed, p.ExitCode)
+		}
+		if plan := m.FaultPlan(); plan.Counts()[fault.AMSKill] > 0 && k.Stats.Recovered > 0 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no seed exercised a completed kill-recovery")
+	}
+}
+
+// TestJoinSingleSequencer is the regression for the 1-sequencer
+// joiner-spin deadlock: pthread_join must help drain the gang queue,
+// because on a machine with a single sequencer a joiner that merely
+// spun would wait forever for a worker that can never run. The tight
+// MaxCycles turns any spin regression into a fast structured abort
+// instead of a test-suite hang.
+func TestJoinSingleSequencer(t *testing.T) {
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog(r10, r11, r12, r13)
+	b.Li(r10, 0) // sum
+	b.Li(r11, 0) // i
+	b.Li(r12, 4)
+	b.Label("js_spawn")
+	b.La(r1, "worker")
+	b.Mov(r2, r11)
+	b.Call("pthread_create")
+	b.Mov(r1, r0)
+	b.Call("pthread_join")
+	b.Add(r10, r10, r0)
+	b.Addi(r11, r11, 1)
+	b.Blt(r11, r12, "js_spawn")
+	b.Mov(r0, r10)
+	b.Epilog(r10, r11, r12, r13)
+
+	// worker(i): return (i+1)^2.
+	b.Label("worker")
+	b.Addi(r1, r1, 1)
+	b.Mul(r0, r1, r1)
+	b.Ret()
+
+	for _, top := range []core.Topology{{0}, {1}} {
+		cfg := faultCfg(top)
+		cfg.MaxCycles = 100_000_000
+		p, _, _, err := runFault(t, cfg, b.MustBuild())
+		if err != nil {
+			t.Fatalf("top %v: joiner failed to drain: %v", top, err)
+		}
+		if p.ExitCode != 1+4+9+16 {
+			t.Fatalf("top %v: sum = %d, want 30", top, p.ExitCode)
+		}
+	}
+}
+
+// timedjoinProg builds: main starts a worker that raises `started` and
+// parks forever, spins until `started` is visible (so the worker is
+// definitely running on the AMS, not sitting in the queue where the
+// joiner would pop it inline), then pthread_timedjoins it with a small
+// budget. app_main returns the timedjoin status (110 = ETIMEDOUT).
+func timedjoinProg(budget int64) *asm.Program {
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog(r10)
+	b.La(r1, "tw_park")
+	b.Li(r2, 0)
+	b.Call("pthread_create")
+	b.Mov(r10, r0)
+	b.La(r6, "started")
+	b.Li(r9, 0)
+	b.Label("tw_wait")
+	b.Ld(r7, r6, 0)
+	b.Beq(r7, r9, "tw_wait")
+	b.Mov(r1, r10)
+	b.Li(r2, budget)
+	b.Call("pthread_timedjoin")
+	b.Epilog(r10)
+
+	b.Label("tw_park")
+	b.La(r6, "started")
+	b.Li(r7, 1)
+	b.St(r7, r6, 0)
+	b.Fence()
+	b.Label("tw_loop")
+	b.Pause()
+	b.Jmp("tw_loop")
+
+	b.DataU64("started", 0)
+	return b.MustBuild()
+}
+
+func TestPthreadTimedjoinTimesOut(t *testing.T) {
+	cfg := faultCfg(core.Topology{1})
+	cfg.MaxCycles = 100_000_000
+	p, _, _, err := runFault(t, cfg, timedjoinProg(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 110 {
+		t.Fatalf("timedjoin on a parked-forever worker returned %d, want 110 (ETIMEDOUT)", p.ExitCode)
+	}
+}
+
+func TestPthreadTimedjoinJoins(t *testing.T) {
+	// A worker that finishes: timedjoin must return 0 well within the
+	// budget and leave the return value readable at handle+8.
+	b := NewProgram(ModeShred, 0)
+	b.Label("app_main")
+	b.Prolog(r10)
+	b.La(r1, "tq_worker")
+	b.Li(r2, 6)
+	b.Call("pthread_create")
+	b.Mov(r10, r0)
+	b.Mov(r1, r10)
+	b.Li(r2, 500_000_000)
+	b.Call("pthread_timedjoin")
+	b.Li(r9, 0)
+	b.Bne(r0, r9, "tq_fail")
+	b.Ld(r0, r10, 8) // the worker's return value
+	b.Epilog(r10)
+	b.Label("tq_fail")
+	b.Li(r0, 255)
+	b.Epilog(r10)
+
+	b.Label("tq_worker")
+	b.Muli(r0, r1, 7)
+	b.Ret()
+
+	p, _, _, err := runFault(t, faultCfg(core.Topology{1}), b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 42 {
+		t.Fatalf("timedjoin result = %d, want 42", p.ExitCode)
+	}
+}

@@ -37,6 +37,8 @@ func Emit(b *asm.Builder, mode Mode) {
 	e.emitWorkerLoops()
 	e.emitRunUntilDrained()
 	e.emitJoinDrain()
+	e.emitJoinDrainTimeout()
+	e.emitResumeCtx()
 	e.emitShredCreate()
 	e.emitAllocStack()
 	e.emitShredYield()
@@ -306,11 +308,18 @@ func (e *emitter) emitInit() {
 }
 
 // emitProxyHandler emits the canonical proxy handler: a single
-// PROXYEXEC services every proxy condition (§2.5).
+// PROXYEXEC services every proxy condition (§2.5). A spurious yield
+// (the fault plane firing the scenario with no event behind it)
+// delivers with r1 == 0; there is no frame to proxy, so the handler
+// just returns to the interrupted shred.
 func (e *emitter) emitProxyHandler() {
 	b := e.b
+	spur := e.lbl("phspur")
 	b.Label("rt_proxy_handler")
+	b.Li(r9, 0)
+	b.Beq(r1, r9, spur)
 	b.Proxyexec(r1)
+	b.Label(spur)
 	b.Sret()
 }
 
@@ -424,10 +433,11 @@ func (e *emitter) emitSchedResume() {
 type schedLoopKind int
 
 const (
-	loopAMS     schedLoopKind = iota // AMS worker: park on shutdown, never syscall
-	loopOMS                          // extra OS-thread worker: thread_exit on shutdown
-	loopDrained                      // main-thread helper: return when all shreds done
-	loopJoin                         // join helper: return when a specific flag is set
+	loopAMS         schedLoopKind = iota // AMS worker: park on shutdown, never syscall
+	loopOMS                              // extra OS-thread worker: thread_exit on shutdown
+	loopDrained                          // main-thread helper: return when all shreds done
+	loopJoin                             // join helper: return when a specific flag is set
+	loopJoinTimeout                      // loopJoin with a cycle deadline on the sched stack
 )
 
 // emitSchedLoop emits one gang-scheduler loop (the heart of Figure 3):
@@ -479,7 +489,7 @@ func (e *emitter) emitSchedLoop(top string, kind schedLoopKind, drainedExit stri
 		b.Label(noNew)
 	}
 
-	if kind == loopJoin {
+	if kind == loopJoin || kind == loopJoinTimeout {
 		// Exit as soon as the awaited done flag (address parked in TLS)
 		// becomes nonzero.
 		e.tlsInto(r10, r11)
@@ -487,6 +497,14 @@ func (e *emitter) emitSchedLoop(top string, kind schedLoopKind, drainedExit stri
 		b.Ld(r11, r11, 0)
 		b.Li(r9, 0)
 		b.Bne(r11, r9, drainedExit)
+		if kind == loopJoinTimeout {
+			// The deadline sits at [sp+0]: rt_join_drain_timeout pushed it
+			// last before parking tlsSchedSP, and sp == tlsSchedSP at every
+			// loop-top entry (first fall-through and rt_sched_resume alike).
+			b.Ld(r11, sp, 0)
+			b.Rdtsc(r12)
+			b.Bgeu(r12, r11, drainedExit)
+		}
 	}
 
 	// Peek at the queue WITHOUT the lock: head and tail are monotonic,
@@ -505,9 +523,9 @@ func (e *emitter) emitSchedLoop(top string, kind schedLoopKind, drainedExit stri
 		b.Ld(r11, r6, offCreated)
 		b.Ld(r12, r6, offDone)
 		b.Beq(r11, r12, drainedExit)
-	} else if kind == loopJoin {
-		// Nothing to run; the flag check at the loop top decides when to
-		// stop. Fall through to the idle path.
+	} else if kind == loopJoin || kind == loopJoinTimeout {
+		// Nothing to run; the flag (and deadline) check at the loop top
+		// decides when to stop. Fall through to the idle path.
 	} else {
 		done := e.lbl("donef")
 		b.Ld(r12, r6, offDoneFlag)
@@ -667,6 +685,60 @@ func (e *emitter) emitJoinDrain() {
 	b.St(r8, r6, tlsSchedSP)
 	b.St(r9, r6, tlsLoopTop)
 	b.Epilog(r10, r11, r12, r13)
+}
+
+// emitJoinDrainTimeout emits rt_join_drain_timeout(flagAddr, budget):
+// rt_join_drain with a deadline — gang-schedule queued shreds until the
+// done flag at flagAddr becomes nonzero OR the local clock passes
+// now + budget cycles. The caller re-checks the flag to tell the two
+// exits apart (pthread_timedjoin does).
+func (e *emitter) emitJoinDrainTimeout() {
+	b := e.b
+	loop := e.lbl("jtdrain")
+	exit := e.lbl("jtdone")
+	b.Label("rt_join_drain_timeout")
+	b.Prolog(r10, r11, r12, r13)
+	e.tlsInto(r6, r7)
+	b.Ld(r8, r6, tlsSchedSP)
+	b.Ld(r9, r6, tlsLoopTop)
+	b.Push(r8, r9)
+	b.Ld(r8, r6, tlsJoinFlag)
+	b.Push(r8)
+	b.St(r1, r6, tlsJoinFlag)
+	// Deadline goes on the scheduler stack at [sp+0], where the loop top
+	// reads it back relative to tlsSchedSP.
+	b.Rdtsc(r8)
+	b.Add(r8, r8, r2)
+	b.Push(r8)
+	b.St(sp, r6, tlsSchedSP)
+	b.La(r8, loop)
+	b.St(r8, r6, tlsLoopTop)
+	e.emitSchedLoop(loop, loopJoinTimeout, exit)
+	b.Label(exit)
+	e.tlsInto(r6, r7)
+	b.Pop(r8) // discard the deadline
+	b.Pop(r8)
+	b.St(r8, r6, tlsJoinFlag)
+	b.Pop(r8, r9)
+	b.St(r8, r6, tlsSchedSP)
+	b.St(r9, r6, tlsLoopTop)
+	b.Epilog(r10, r11, r12, r13)
+}
+
+// emitResumeCtx emits the recovery trampoline the kernel enqueues when
+// it reclaims a shred context from a dead sequencer: a live gang
+// scheduler pops the entry and arrives here with SP = the saved context
+// frame's VA. The frame's TP slot is patched with THIS worker's thread
+// pointer before LDCTX — the dead worker's TLS (scheduler SP, loop top,
+// free-pending stack) must not travel with the shred, or its eventual
+// rt_shred_exit would resume a dead sequencer's scheduler loop.
+func (e *emitter) emitResumeCtx() {
+	b := e.b
+	b.Label("rt_resume_ctx")
+	b.Mov(r1, sp)
+	b.Gettp(r2)
+	b.St(r2, r1, int32(isa.CtxTP))
+	b.Ldctx(r1) // never returns
 }
 
 // emitShredCreate emits Shred_create (Figure 3): allocate a stack,

@@ -11,8 +11,9 @@
 //     CSVs are byte-identical no matter how many workers ran or in
 //     which order jobs finished.
 //   - Every job runs to completion even when another fails; the
-//     returned error is always the lowest-index one, so failures are
-//     deterministic too.
+//     returned error aggregates every failure in job-index order
+//     (errors.Join), so failures are deterministic too and none is
+//     masked by an earlier one.
 //   - A panicking job is captured (converted to that job's error) and
 //     does not take down the sweep or the process.
 //
@@ -21,6 +22,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -68,7 +70,8 @@ func Workers(n int) int {
 // Map runs fn(0..n-1) on at most workers goroutines (workers <= 0 uses
 // GOMAXPROCS; workers == 1 runs inline with no goroutines) and returns
 // the results in job order. All jobs run regardless of failures; the
-// returned error is the lowest-index job's.
+// returned error joins every failing job's error in index order, each
+// wrapped with its job number (errors.Is/As see through the join).
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, Stats, error) {
 	workers = Workers(workers)
 	if workers > n {
@@ -114,10 +117,11 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, Stats, error) {
 	for _, b := range busy {
 		st.Busy += b
 	}
+	var failed []error
 	for i, e := range errs {
 		if e != nil {
-			return results, st, fmt.Errorf("sweep: job %d: %w", i, e)
+			failed = append(failed, fmt.Errorf("sweep: job %d: %w", i, e))
 		}
 	}
-	return results, st, nil
+	return results, st, errors.Join(failed...)
 }

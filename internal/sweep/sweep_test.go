@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -113,5 +114,41 @@ func TestWorkers(t *testing.T) {
 	}
 	if Workers(0) < 1 || Workers(-1) < 1 {
 		t.Fatal("defaulted worker count must be at least 1")
+	}
+}
+
+// TestMapJoinsAllErrors: the new aggregation contract — every failing
+// job's error is present (none masked by an earlier one), in job-index
+// order, and errors.Is/As reach each one through the join.
+func TestMapJoinsAllErrors(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	for _, workers := range []int{1, 4} {
+		_, _, err := Map(workers, 10, func(i int) (int, error) {
+			switch i {
+			case 2:
+				return 0, fmt.Errorf("early: %w", sentinel)
+			case 5:
+				return 0, errors.New("middle crash")
+			case 9:
+				return 0, errors.New("late crash")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no aggregate error", workers)
+		}
+		msg := err.Error()
+		i2 := strings.Index(msg, "job 2")
+		i5 := strings.Index(msg, "job 5")
+		i9 := strings.Index(msg, "job 9")
+		if i2 < 0 || i5 < 0 || i9 < 0 {
+			t.Fatalf("workers=%d: a failure was masked:\n%s", workers, msg)
+		}
+		if !(i2 < i5 && i5 < i9) {
+			t.Fatalf("workers=%d: failures out of index order:\n%s", workers, msg)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: errors.Is lost the wrapped sentinel", workers)
+		}
 	}
 }
