@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck faultcheck
+.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck faultcheck servecheck
 
 build:
 	$(GO) build ./...
@@ -65,5 +65,12 @@ faultcheck:
 	$(GO) run ./cmd/mispbench -exp resilience -size test -faultseeds 3 -csv /tmp/misp-csv-fN -parallel 0 > /dev/null
 	diff -r /tmp/misp-csv-f1 /tmp/misp-csv-fN
 
+# servecheck boots the mispserve daemon on a random port, submits a
+# tiny run over HTTP, re-submits it, and asserts the second submission
+# is a cache hit with byte-identical artifact bytes, then SIGTERMs the
+# daemon and checks it drains cleanly.
+servecheck:
+	bash scripts/serve_smoke.sh
+
 # ci is the full gate run by the GitHub Actions workflow.
-ci: build vet test race smoke benchgate paracheck faultcheck
+ci: build vet test race smoke benchgate paracheck faultcheck servecheck

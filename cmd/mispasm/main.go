@@ -15,14 +15,20 @@ import (
 
 	"misp/internal/asm"
 	"misp/internal/core"
+	"misp/internal/version"
 )
 
 func main() {
 	symbols := flag.Bool("symbols", false, "print the symbol table")
 	run := flag.Bool("run", false, "execute the program under BareOS on a 1x4 MISP machine")
 	topAMS := flag.Int("ams", 3, "with -run: number of AMSs")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mispasm [-symbols] [-run] file.svm")
 		os.Exit(2)

@@ -21,6 +21,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +30,11 @@ import (
 	"strings"
 	"time"
 
+	"misp/internal/cli"
 	"misp/internal/exp"
 	"misp/internal/report"
 	"misp/internal/sweep"
+	"misp/internal/version"
 	"misp/internal/workloads"
 )
 
@@ -45,14 +49,28 @@ func main() {
 	faultSeeds := flag.Int("faultseeds", 5, "resilience: seeded fault campaigns per sweep cell")
 	jsonPath := flag.String("json", "", "bench: write measurements to this JSON file (default BENCH_core.json)")
 	baseline := flag.String("baseline", "", "bench: compare against this committed baseline JSON and fail on regression")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	size, err := parseSize(*sizeName)
 	if err != nil {
 		fatal(err)
 	}
+
+	// First SIGINT/SIGTERM cancels the sweeps at their next event
+	// horizon and fatal() removes the CSVs written so far, so an
+	// interrupted invocation never leaves a half-generated output set.
+	// A second signal hard-exits.
+	ctx, stop := cli.SignalContext("mispbench")
+	defer stop()
+
 	var stats sweep.Stats
-	opt := exp.Options{Size: size, Seqs: *seqs, Parallel: *parallel, SweepStats: &stats}
+	opt := exp.Options{Size: size, Seqs: *seqs, Parallel: *parallel, SweepStats: &stats, Ctx: ctx}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
 	}
@@ -64,6 +82,7 @@ func main() {
 				fatal(err)
 			}
 			path := filepath.Join(*csvDir, name+".csv")
+			csvWritten = append(csvWritten, path)
 			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 				fatal(err)
 			}
@@ -116,7 +135,7 @@ func main() {
 	if which == "all" || which == "fig7" {
 		curves, err := exp.Fig7(exp.Fig7Options{
 			Size: size, MaxLoad: *maxLoad,
-			Parallel: *parallel, SweepStats: &stats,
+			Parallel: *parallel, SweepStats: &stats, Ctx: ctx,
 		})
 		if err != nil {
 			fatal(err)
@@ -157,7 +176,7 @@ func main() {
 	if which == "resilience" {
 		ropt := exp.ResilienceOptions{
 			Size: size, SeedsPerCell: *faultSeeds,
-			Parallel: *parallel, SweepStats: &stats,
+			Parallel: *parallel, SweepStats: &stats, Ctx: ctx,
 		}
 		if opt.Apps != nil {
 			ropt.App = opt.Apps[0]
@@ -201,7 +220,21 @@ func parseSize(s string) (workloads.Size, error) {
 	return 0, fmt.Errorf("unknown size %q", s)
 }
 
+// csvWritten tracks the CSV paths produced by this invocation so an
+// interrupted run can take them back out: a partial output set is
+// worse than none, because it looks complete.
+var csvWritten []string
+
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		for _, p := range csvWritten {
+			if os.Remove(p) == nil {
+				fmt.Fprintf(os.Stderr, "mispbench: removed partial output %s\n", p)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "mispbench:", err)
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "mispbench:", err)
 	os.Exit(1)
 }

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,11 +19,13 @@ import (
 	"strings"
 
 	"misp/internal/asm"
+	"misp/internal/cli"
 	"misp/internal/core"
 	"misp/internal/fault"
 	"misp/internal/obs"
 	"misp/internal/report"
 	"misp/internal/shredlib"
+	"misp/internal/version"
 	"misp/internal/workloads"
 )
 
@@ -42,8 +46,13 @@ func main() {
 	faultPeriod := flag.Uint64("faultperiod", 0, "mean retirements between injected faults per kind (0 = fault plane disabled)")
 	faultKinds := flag.String("faultkinds", "", "comma-separated fault kinds to inject (default: all); see internal/fault")
 	watchdog := flag.Uint64("watchdog", 0, "livelock watchdog horizon in cycles (0 = 8x timer interval when faults are on, else off)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	if *list {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-18s %s\n", w.Name, w.Suite)
@@ -75,6 +84,11 @@ func main() {
 		fatal(fmt.Errorf("unknown ring policy %q", *policy))
 	}
 
+	// First SIGINT/SIGTERM cancels the run at its next event horizon;
+	// a second one hard-exits.
+	ctx, stop := cli.SignalContext("mispsim")
+	defer stop()
+
 	if *runFile != "" {
 		src, err := os.ReadFile(*runFile)
 		if err != nil {
@@ -84,7 +98,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		bos, m, err := core.RunBare(cfg, prog)
+		bos, m, err := core.RunBareCtx(ctx, cfg, prog)
 		if err != nil {
 			fatal(err)
 		}
@@ -116,7 +130,7 @@ func main() {
 		mode = shredlib.ModeThread
 	}
 
-	res, err := workloads.Run(w, mode, cfg, size)
+	res, err := workloads.RunCtx(ctx, w, mode, cfg, size)
 	if err != nil {
 		fatal(err)
 	}
@@ -242,5 +256,8 @@ func parseSize(s string) (workloads.Size, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mispsim:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

@@ -31,6 +31,7 @@ import (
 	"misp/internal/obs"
 	"misp/internal/report"
 	"misp/internal/shredlib"
+	"misp/internal/version"
 	"misp/internal/workloads"
 )
 
@@ -44,8 +45,13 @@ func main() {
 	keepOldest := flag.Bool("keep-oldest", false, "on overflow drop new events instead of evicting the oldest")
 	hot := flag.Int("hot", 30, "hot spots to list in profile.txt (0 = all)")
 	validate := flag.String("validate", "", "validate an existing Chrome trace JSON file and exit")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	if *validate != "" {
 		if err := validateTrace(*validate); err != nil {
 			fatal(err)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"misp/internal/asm"
@@ -136,6 +137,12 @@ func (b *BareOS) Done() bool { return b.Exited || b.Err != nil }
 // RunBare assembles the pieces: build a machine with cfg, load prog,
 // run to completion, and return the BareOS for inspection.
 func RunBare(cfg Config, prog *asm.Program) (*BareOS, *Machine, error) {
+	return RunBareCtx(context.Background(), cfg, prog)
+}
+
+// RunBareCtx is RunBare with host-side cancellation: canceling ctx
+// aborts the run at the machine's next event horizon.
+func RunBareCtx(ctx context.Context, cfg Config, prog *asm.Program) (*BareOS, *Machine, error) {
 	m, err := New(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -144,6 +151,7 @@ func RunBare(cfg Config, prog *asm.Program) (*BareOS, *Machine, error) {
 	if err != nil {
 		return nil, m, err
 	}
+	m.SetContext(ctx)
 	if err := m.Run(); err != nil {
 		return b, m, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -80,6 +82,14 @@ type Machine struct {
 	os      OS
 	stopErr error
 	halted  bool // a ring-0 HALT was executed
+
+	// ctx/ctxDone support external cancellation: when the attached
+	// context is canceled, Run stops at the next event-horizon selection
+	// (fast path) or within cancelCheckStride instructions (legacy loop)
+	// and returns an error wrapping the context's cause. Both are nil
+	// when no context is attached — the loops then pay one nil check.
+	ctx     context.Context
+	ctxDone <-chan struct{}
 
 	// evq is the fast path's indexed min-heap of per-sequencer next-event
 	// times; evqDirty forces a full rebuild after a kernel entry (the
@@ -195,6 +205,50 @@ func New(cfg Config) (*Machine, error) {
 // SetOS attaches the kernel. Must be called before Run.
 func (m *Machine) SetOS(os OS) { m.os = os }
 
+// SetContext attaches a cancellation context. Once ctx is canceled,
+// Run aborts at its next selection point and returns an error wrapping
+// ctx's cause (errors.Is(err, context.Canceled) holds for a plain
+// cancel). Cancellation is a host-side abort: the simulation state is
+// frozen mid-run and no result should be read from it. Attaching
+// context.Background() (or any context that cannot be canceled) is
+// free: the run loops skip the check entirely.
+func (m *Machine) SetContext(ctx context.Context) {
+	m.ctx = ctx
+	m.ctxDone = ctx.Done()
+}
+
+// canceled reports whether the attached context has been canceled
+// (non-blocking; false when no context is attached).
+func (m *Machine) canceled() bool {
+	if m.ctxDone == nil {
+		return false
+	}
+	select {
+	case <-m.ctxDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// canceledErr builds the abort error for a canceled run. The chain
+// always contains ctx.Err() (context.Canceled or DeadlineExceeded) so
+// callers can classify host-side aborts with errors.Is even when the
+// canceler attached a descriptive cause.
+func (m *Machine) canceledErr() error {
+	err := m.ctx.Err()
+	if cause := context.Cause(m.ctx); cause != nil && cause != err {
+		err = errors.Join(err, cause)
+	}
+	return fmt.Errorf("core: run canceled at cycle %d after %d instructions: %w",
+		m.MaxClock(), m.Steps, err)
+}
+
+// cancelCheckStride bounds how many legacy-loop iterations may pass
+// between cancellation checks (the fast path checks every selection,
+// which is already amortized over a whole batch).
+const cancelCheckStride = 1024
+
 // Proc returns the processor owning sequencer s.
 func (m *Machine) Proc(s *Sequencer) *Processor { return m.Procs[s.ProcID] }
 
@@ -238,7 +292,16 @@ func (m *Machine) Run() error {
 // O(#sequencers) scan selects the earliest event before every commit.
 // Kept as the difftest oracle for the fast path.
 func (m *Machine) runLegacy() error {
+	ctxCheck := 0
 	for m.stopErr == nil && !m.halted && !m.os.Done() {
+		if m.ctxDone != nil {
+			if ctxCheck--; ctxCheck <= 0 {
+				if m.canceled() {
+					return m.canceledErr()
+				}
+				ctxCheck = cancelCheckStride
+			}
+		}
 		s := m.pickNext()
 		if s == nil {
 			return m.deadlockDiag()
@@ -271,6 +334,12 @@ func (m *Machine) runFast() error {
 	// initial rebuild and Done check.
 	m.evqDirty = true
 	for m.stopErr == nil && !m.halted {
+		// One non-blocking check per selection: a cancel lands at the next
+		// event horizon, never mid-batch, so abort points are identical
+		// whether the run was serial or raced against other jobs.
+		if m.ctxDone != nil && m.canceled() {
+			return m.canceledErr()
+		}
 		if m.evqDirty {
 			if m.os.Done() {
 				break

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"misp/internal/core"
 	"misp/internal/overhead"
 	"misp/internal/report"
@@ -42,11 +44,11 @@ func AblationRingPolicy(opt Options) ([]RingPolicyRow, error) {
 	type cell struct {
 		cycles, stall uint64
 	}
-	cells, st, err := sweep.Map(opt.Parallel, 2*len(ws), func(i int) (cell, error) {
+	cells, st, err := sweep.MapCtx(opt.Ctx, opt.Parallel, 2*len(ws), func(ctx context.Context, i int) (cell, error) {
 		w, policy := ws[i/2], policies[i%2]
 		cfg := opt.Config(core.Topology{opt.Seqs - 1})
 		cfg.RingPolicy = policy
-		res, err := workloads.Run(w, shredlib.ModeShred, cfg, opt.Size)
+		res, err := workloads.RunCtx(ctx, w, shredlib.ModeShred, cfg, opt.Size)
 		if err != nil {
 			return cell{}, err
 		}
@@ -111,13 +113,13 @@ func AblationProbe(opt Options) ([]ProbeRow, error) {
 	type cell struct {
 		cycles, pf uint64
 	}
-	cells, st, err := sweep.Map(opt.Parallel, 2*len(ws), func(i int) (cell, error) {
+	cells, st, err := sweep.MapCtx(opt.Ctx, opt.Parallel, 2*len(ws), func(ctx context.Context, i int) (cell, error) {
 		w, probe := ws[i/2], i%2 == 1
 		var extra int64
 		if probe {
 			extra = shredlib.FlagProbePages
 		}
-		res, err := workloads.RunFlags(w, shredlib.ModeShred, opt.Config(core.Topology{opt.Seqs - 1}), opt.Size, extra)
+		res, err := workloads.RunFlagsCtx(ctx, w, shredlib.ModeShred, opt.Config(core.Topology{opt.Seqs - 1}), opt.Size, extra)
 		if err != nil {
 			return cell{}, err
 		}
@@ -189,11 +191,11 @@ func AblationSignalSweep(opt Options, signals []uint64) ([]SweepRow, error) {
 		ev     overhead.Events
 	}
 	nc := len(signals)
-	cells, st, err := sweep.Map(opt.Parallel, nc*len(ws), func(i int) (cell, error) {
+	cells, st, err := sweep.MapCtx(opt.Ctx, opt.Parallel, nc*len(ws), func(ctx context.Context, i int) (cell, error) {
 		w, sig := ws[i/nc], signals[i%nc]
 		cfg := opt.Config(core.Topology{opt.Seqs - 1})
 		cfg.SignalCost = sig
-		res, err := workloads.Run(w, shredlib.ModeShred, cfg, opt.Size)
+		res, err := workloads.RunCtx(ctx, w, shredlib.ModeShred, cfg, opt.Size)
 		if err != nil {
 			return cell{}, err
 		}

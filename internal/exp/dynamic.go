@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"misp/internal/core"
@@ -51,9 +52,9 @@ func AblationDynamicBinding(opt Options) ([]DynamicRow, error) {
 	type cell struct {
 		cycles, rebinds uint64
 	}
-	cells, st, err := sweep.Map(opt.Parallel, 2*len(scenarios), func(i int) (cell, error) {
+	cells, st, err := sweep.MapCtx(opt.Ctx, opt.Parallel, 2*len(scenarios), func(ctx context.Context, i int) (cell, error) {
 		sc, dynamic := scenarios[i/2], i%2 == 1
-		cycles, rebinds, err := dynamicRun(w, opt, sc.top, sc.loads, dynamic)
+		cycles, rebinds, err := dynamicRun(ctx, w, opt, sc.top, sc.loads, dynamic)
 		if err != nil {
 			return cell{}, fmt.Errorf("exp: A4 %q dynamic=%v: %w", sc.name, dynamic, err)
 		}
@@ -77,7 +78,7 @@ func AblationDynamicBinding(opt Options) ([]DynamicRow, error) {
 	return out, nil
 }
 
-func dynamicRun(w *workloads.Workload, opt Options, top core.Topology, loads int, dynamic bool) (uint64, uint64, error) {
+func dynamicRun(ctx context.Context, w *workloads.Workload, opt Options, top core.Topology, loads int, dynamic bool) (uint64, uint64, error) {
 	cfg := opt.Config(top)
 	// Frequent ticks: the binder acts once per tick.
 	cfg.TimerInterval = 50_000
@@ -85,6 +86,7 @@ func dynamicRun(w *workloads.Workload, opt Options, top core.Topology, loads int
 	if err != nil {
 		return 0, 0, err
 	}
+	m.SetContext(ctx)
 	k := kernel.New(m)
 	k.DynamicAMSBinding = dynamic
 

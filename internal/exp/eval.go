@@ -10,6 +10,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,6 +41,9 @@ type Options struct {
 	// (runs, wall/busy time, utilization) across every experiment called
 	// with these Options.
 	SweepStats *sweep.Stats
+	// Ctx cancels the experiment: dispatch stops and in-flight
+	// simulations abort at their next event horizon (nil = Background).
+	Ctx context.Context
 }
 
 func (o *Options) defaults() {
@@ -48,6 +52,9 @@ func (o *Options) defaults() {
 	}
 	if o.Config == nil {
 		o.Config = workloads.DefaultConfig
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 }
 
@@ -164,7 +171,7 @@ func Evaluate(opt Options) ([]*AppResult, error) {
 	}
 	smpTop := make(core.Topology, opt.Seqs)
 	labels := [3]string{"1P", "MISP", "SMP"}
-	runs, st, err := sweep.Map(opt.Parallel, 3*len(ws), func(i int) (evalRun, error) {
+	runs, st, err := sweep.MapCtx(opt.Ctx, opt.Parallel, 3*len(ws), func(ctx context.Context, i int) (evalRun, error) {
 		w, c := ws[i/3], i%3
 		cfg := opt.Config(core.Topology{0})
 		mode := shredlib.ModeShred
@@ -175,7 +182,7 @@ func Evaluate(opt Options) ([]*AppResult, error) {
 			cfg = opt.Config(smpTop)
 			mode = shredlib.ModeThread
 		}
-		res, err := workloads.Run(w, mode, cfg, opt.Size)
+		res, err := workloads.RunCtx(ctx, w, mode, cfg, opt.Size)
 		if err != nil {
 			return evalRun{}, err
 		}

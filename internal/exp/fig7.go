@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,9 +43,11 @@ type Fig7Options struct {
 	Config  func(core.Topology) core.Config
 	// Parallel is the host worker count for the config×load grid
 	// (sweep.Map semantics); SweepStats optionally accumulates host-side
-	// statistics, as in Options.
+	// statistics, as in Options. Ctx cancels the experiment (nil =
+	// Background).
 	Parallel   int
 	SweepStats *sweep.Stats
+	Ctx        context.Context
 }
 
 // Fig7Curve is one configuration's series: relative RayTracer
@@ -81,11 +84,14 @@ func Fig7(opt Fig7Options) ([]Fig7Curve, error) {
 		return nil, err
 	}
 
+	if opt.Ctx == nil {
+		opt.Ctx = context.Background()
+	}
 	configs := Fig7Configs()
 	nl := opt.MaxLoad + 1
-	cells, st, err := sweep.Map(opt.Parallel, nl*len(configs), func(i int) (uint64, error) {
+	cells, st, err := sweep.MapCtx(opt.Ctx, opt.Parallel, nl*len(configs), func(ctx context.Context, i int) (uint64, error) {
 		cfg, load := configs[i/nl], i%nl
-		cycles, err := fig7Run(w, cfg, opt, load)
+		cycles, err := fig7Run(ctx, w, cfg, opt, load)
 		if err != nil {
 			return 0, fmt.Errorf("exp: fig7 %s load %d: %w", cfg.Name, load, err)
 		}
@@ -125,12 +131,13 @@ func Fig7(opt Fig7Options) ([]Fig7Curve, error) {
 
 // fig7Run executes one cell: the shredded app plus `load` spin
 // processes; the run stops when the app finishes.
-func fig7Run(w *workloads.Workload, cfg Fig7Config, opt Fig7Options, load int) (uint64, error) {
+func fig7Run(ctx context.Context, w *workloads.Workload, cfg Fig7Config, opt Fig7Options, load int) (uint64, error) {
 	mcfg := opt.Config(cfg.Top)
 	m, err := core.New(mcfg)
 	if err != nil {
 		return 0, err
 	}
+	m.SetContext(ctx)
 	k := kernel.New(m)
 	app, err := k.Spawn(w.Name, w.Build(cfg.Mode, opt.Size))
 	if err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -41,13 +42,17 @@ type ResilienceOptions struct {
 	SeedsPerCell int
 	// Kinds restricts injection to the named kinds (default: all).
 	Kinds []fault.Kind
-	// Config, Parallel, SweepStats: as in Options.
+	// Config, Parallel, SweepStats, Ctx: as in Options.
 	Config     func(core.Topology) core.Config
 	Parallel   int
 	SweepStats *sweep.Stats
+	Ctx        context.Context
 }
 
 func (o *ResilienceOptions) defaults() {
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	if o.App == "" {
 		o.App = "dense_mmm"
 	}
@@ -114,7 +119,7 @@ func Resilience(opt ResilienceOptions) ([]ResilienceRow, error) {
 	nA, nP, nS := len(opt.AMSCounts), len(opt.Periods), opt.SeedsPerCell
 	// Jobs 0..nA-1 are the fault-free baselines (one per topology); the
 	// campaigns follow in (ams, period, seed) order.
-	runs, st, err := sweep.Map(opt.Parallel, nA+nA*nP*nS, func(i int) (campaignRun, error) {
+	runs, st, err := sweep.MapCtx(opt.Ctx, opt.Parallel, nA+nA*nP*nS, func(ctx context.Context, i int) (campaignRun, error) {
 		var cfg core.Config
 		if i < nA {
 			cfg = opt.Config(core.Topology{opt.AMSCounts[i]})
@@ -128,7 +133,7 @@ func Resilience(opt ResilienceOptions) ([]ResilienceRow, error) {
 		if err != nil {
 			return campaignRun{}, err
 		}
-		res, runErr := pr.Run()
+		res, runErr := pr.RunCtx(ctx)
 		out := campaignRun{cycles: pr.Machine.MaxClock()}
 		if plan := pr.Machine.FaultPlan(); plan != nil {
 			out.injected = plan.Total()
@@ -149,6 +154,9 @@ func Resilience(opt ResilienceOptions) ([]ResilienceRow, error) {
 				out.outcome = "ok"
 				out.cycles = res.Cycles
 			}
+		case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+			// A host-side abort is not a campaign outcome.
+			return campaignRun{}, runErr
 		case isDiagnosis(runErr):
 			if i < nA {
 				return campaignRun{}, runErr

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// artifactName constrains artifact file names so a disk-backed cache
+// entry can never escape its directory. Every producer in exec.go uses
+// names from this set shape; the HTTP layer re-validates on fetch.
+var artifactName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
+
+// ValidArtifactName reports whether name is a safe artifact file name.
+func ValidArtifactName(name string) bool {
+	return len(name) <= 128 && artifactName.MatchString(name) && filepath.Base(name) == name
+}
+
+// Cache is the content-addressed result store: canonical request key →
+// artifact set. Entries are immutable once stored (the key binds the
+// full simulation input, and simulation is deterministic), so there is
+// no invalidation — only insertion and lookup. An optional disk
+// directory persists entries across daemon restarts; the in-memory map
+// fronts it.
+type Cache struct {
+	mu  sync.Mutex
+	mem map[string]Artifacts
+	dir string // "" = memory only
+
+	hits, misses uint64
+}
+
+// NewCache builds a cache; dir == "" keeps it memory-only.
+func NewCache(dir string) (*Cache, error) {
+	c := &Cache{mem: make(map[string]Artifacts), dir: dir}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// Get returns the artifact set stored under key, falling back to the
+// disk layer, and records the hit/miss.
+func (c *Cache) Get(key string) (Artifacts, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if art, ok := c.mem[key]; ok {
+		c.hits++
+		return art, true
+	}
+	if c.dir != "" {
+		if art, ok := c.load(key); ok {
+			c.mem[key] = art
+			c.hits++
+			return art, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Peek returns the artifact set stored under key without touching the
+// hit/miss accounting (artifact fetches are reads of an entry whose
+// hit was already counted at submission).
+func (c *Cache) Peek(key string) (Artifacts, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if art, ok := c.mem[key]; ok {
+		return art, true
+	}
+	if c.dir != "" {
+		if art, ok := c.load(key); ok {
+			c.mem[key] = art
+			return art, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether key is cached without counting a hit or a
+// miss (used by status endpoints).
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mem[key]; ok {
+		return true
+	}
+	if c.dir == "" {
+		return false
+	}
+	st, err := os.Stat(filepath.Join(c.dir, key))
+	return err == nil && st.IsDir()
+}
+
+// Put stores an artifact set under key. Disk persistence is
+// best-effort write-through: entry files land in a temp directory that
+// is renamed into place, so a crashed or drained daemon never leaves a
+// partial entry where Get could find it.
+func (c *Cache) Put(key string, art Artifacts) error {
+	c.mu.Lock()
+	c.mem[key] = art
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	final := filepath.Join(dir, key)
+	if st, err := os.Stat(final); err == nil && st.IsDir() {
+		return nil // immutable: first writer wins
+	}
+	tmp, err := os.MkdirTemp(dir, ".tmp-"+key[:8]+"-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	for name, data := range art {
+		if !ValidArtifactName(name) {
+			return fmt.Errorf("serve: invalid artifact name %q", name)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		// A concurrent writer won the rename; its content is identical by
+		// construction (same key, deterministic artifacts).
+		if st, statErr := os.Stat(final); statErr == nil && st.IsDir() {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// load reads a disk entry. Called with c.mu held.
+func (c *Cache) load(key string) (Artifacts, bool) {
+	entries, err := os.ReadDir(filepath.Join(c.dir, key))
+	if err != nil {
+		return nil, false
+	}
+	art := Artifacts{}
+	for _, e := range entries {
+		if e.IsDir() || !ValidArtifactName(e.Name()) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(c.dir, key, e.Name()))
+		if err != nil {
+			return nil, false
+		}
+		art[e.Name()] = data
+	}
+	if len(art) == 0 {
+		return nil, false
+	}
+	return art, true
+}
+
+// Stats returns entry count (in-memory layer) and hit/miss counters.
+func (c *Cache) Stats() (entries int, hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem), c.hits, c.misses
+}

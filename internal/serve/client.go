@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is a minimal HTTP client for a running mispserve daemon. It
+// exists so the CLI and tests speak the same wire format as any other
+// consumer; there is no hidden side channel into the server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the daemon at base (e.g.
+// "http://127.0.0.1:8077").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 10 * time.Minute},
+	}
+}
+
+// Submit posts req. With wait it blocks until the job is terminal and
+// returns the final view; otherwise it returns the accepted snapshot.
+func (c *Client) Submit(ctx context.Context, req *Request, wait bool) (*JobView, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	u := c.base + "/v1/jobs"
+	if wait {
+		u += "?wait=1"
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	return c.jobView(hr)
+}
+
+// Status fetches one job's view; wait blocks until terminal.
+func (c *Client) Status(ctx context.Context, id string, wait bool) (*JobView, error) {
+	u := c.base + "/v1/jobs/" + url.PathEscape(id)
+	if wait {
+		u += "?wait=1"
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.jobView(hr)
+}
+
+// List returns every job the daemon knows about.
+func (c *Client) List(ctx context.Context) ([]JobView, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Artifact fetches one artifact's bytes.
+func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) {
+	u := c.base + "/v1/jobs/" + url.PathEscape(id) + "/artifacts/" + url.PathEscape(name)
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Cancel asks the daemon to cancel a job.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobView, error) {
+	u := c.base + "/v1/jobs/" + url.PathEscape(id)
+	hr, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.jobView(hr)
+}
+
+func (c *Client) jobView(hr *http.Request) (*JobView, error) {
+	resp, err := c.http.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+	default:
+		return nil, apiError(resp)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+func apiError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			return fmt.Errorf("%s (HTTP %d, Retry-After %ss)", body.Error, resp.StatusCode, ra)
+		}
+		return fmt.Errorf("%s (HTTP %d)", body.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"misp/internal/version"
+)
+
+// JobView is a job record snapshot safe to marshal outside the server
+// lock.
+type JobView struct {
+	ID        string    `json:"id"`
+	Key       string    `json:"key"`
+	Status    JobStatus `json:"status"`
+	Cached    bool      `json:"cached"`
+	Error     string    `json:"error,omitempty"`
+	Result    *Result   `json:"result,omitempty"`
+	Artifacts []string  `json:"artifacts,omitempty"`
+	WallMS    int64     `json:"wall_ms,omitempty"`
+	Request   *Request  `json:"request,omitempty"`
+}
+
+// View snapshots j under the server lock. Artifact names are listed
+// only for terminal successful jobs.
+func (s *Server) View(j *Job, withRequest bool) JobView {
+	s.mu.Lock()
+	v := JobView{
+		ID:     j.ID,
+		Key:    j.Key,
+		Status: j.Status,
+		Cached: j.Cached,
+		Error:  j.Err,
+		Result: j.Result,
+		WallMS: j.Wall.Milliseconds(),
+	}
+	if withRequest {
+		v.Request = j.Req
+	}
+	s.mu.Unlock()
+	if v.Status == StatusDone {
+		if art, ok := s.cache.Peek(j.Key); ok {
+			v.Artifacts = art.Names()
+		}
+	}
+	return v
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs                       submit (?wait=1 blocks until terminal)
+//	GET    /v1/jobs                       list jobs
+//	GET    /v1/jobs/{id}                  job status
+//	DELETE /v1/jobs/{id}                  cancel
+//	GET    /v1/jobs/{id}/artifacts/{name} fetch one artifact
+//	GET    /healthz                       liveness + version + queue counts
+//	GET    /metrics                       metrics registry dump (plain text)
+//
+// Admission responses: 429 + Retry-After when the queue is full, 503
+// when draining, 400 on invalid requests.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	wait := r.URL.Query().Get("wait") == "1"
+	j, err := s.Submit(&req, !wait)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if wait {
+		// The connection is the lease on the job: if the client goes away
+		// and nobody else is waiting, the job is canceled (ReleaseWaiter).
+		s.AddWaiter(j)
+		defer s.ReleaseWaiter(j)
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			writeError(w, statusClientClosedRequest, r.Context().Err())
+			return
+		}
+		writeJSON(w, http.StatusOK, s.View(j, true))
+		return
+	}
+	status := http.StatusAccepted
+	if s.View(j, false).Status.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.View(j, true))
+}
+
+// statusClientClosedRequest is nginx's 499: the client disconnected
+// before the response was ready (nobody reads it, but logs do).
+const statusClientClosedRequest = 499
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, s.View(j, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			writeError(w, statusClientClosedRequest, r.Context().Err())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.View(j, true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Cancel(id, errors.New("serve: canceled by client")) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	j, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, s.View(j, false))
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	v := s.View(j, false)
+	if v.Status != StatusDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: job %s is %s, artifacts exist only for done jobs", j.ID, v.Status))
+		return
+	}
+	name := r.PathValue("name")
+	data, ok := s.Artifact(j, name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: job %s has no artifact %q", j.ID, name))
+		return
+	}
+	w.Header().Set("Content-Type", contentType(name))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	// Content-addressed bytes never change: let clients cache forever.
+	w.Header().Set("ETag", `"`+j.Key+`-`+name+`"`)
+	w.Write(data)
+}
+
+func contentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	case strings.HasSuffix(name, ".csv"):
+		return "text/csv; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running, done, failed, canceled := s.Counts()
+	entries, hits, misses := s.cache.Stats()
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"version": version.Get(),
+		"uptime":  time.Since(s.start).Round(time.Second).String(),
+		"jobs": map[string]int{
+			"queued": queued, "running": running, "done": done,
+			"failed": failed, "canceled": canceled,
+		},
+		"cache": map[string]uint64{
+			"entries": uint64(entries), "hits": hits, "misses": misses,
+		},
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.Metrics())
+}

@@ -1,0 +1,293 @@
+// Package serve is the simulation-as-a-service plane: a long-running
+// daemon that accepts run and sweep requests over HTTP/JSON, schedules
+// them on a bounded job queue with admission control, executes them on
+// the existing sweep worker machinery with per-job isolated machines,
+// and serves the resulting artifacts from a content-addressed result
+// cache.
+//
+// The cache is sound because the simulator is deterministic: a run is a
+// pure function of its canonical request — topology, workload, size,
+// cost model, fault plan — and is bit-identical across host worker
+// counts and across the legacy and fast execution loops (PR 2–4
+// difftests). The cache key is therefore a hash of the canonical
+// request with every execution-strategy knob (parallelism, loop
+// choice, data-window ablation) excluded: a byte-identical request
+// never simulates twice, and artifacts fetched from the cache are
+// byte-identical to a fresh simulation's.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"slices"
+	"strings"
+
+	"misp/internal/core"
+	"misp/internal/fault"
+	"misp/internal/shredlib"
+	"misp/internal/workloads"
+)
+
+// KindRun simulates one workload on one machine configuration and
+// produces summary.json, counters.csv, metrics.txt, and (with Trace)
+// trace.json. KindSweep runs the standard evaluation grid (every app ×
+// 1P/MISP/SMP) and produces the paper tables as CSV.
+const (
+	KindRun   = "run"
+	KindSweep = "sweep"
+)
+
+// Request describes one unit of service work. The zero value is not
+// valid; Canonicalize applies defaults and validates.
+//
+// Fields under "result-affecting" define the simulation and feed the
+// cache key. Fields under "execution-only" change how the host
+// schedules the work (never its output) and are excluded from the key:
+// requests differing only in execution knobs share one cache entry.
+type Request struct {
+	// --- result-affecting ---------------------------------------------
+	Kind string `json:"kind,omitempty"` // "run" (default) or "sweep"
+
+	App      string `json:"app,omitempty"`      // run: workload name
+	Mode     string `json:"mode,omitempty"`     // run: "shred" (default) or "thread"
+	Topology []int  `json:"topology,omitempty"` // run: AMS count per processor (default [7])
+	Trace    bool   `json:"trace,omitempty"`    // run: record the Chrome trace artifact
+
+	Apps []string `json:"apps,omitempty"` // sweep: subset (default: all 16)
+	Exp  string   `json:"exp,omitempty"`  // sweep: "eval" (default: fig4+table1), "fig4", "table1"
+	Seqs int      `json:"seqs,omitempty"` // sweep: sequencers per configuration (default 8)
+
+	Size       string  `json:"size,omitempty"`        // "test", "small" (default), "ref"
+	SignalCost *uint64 `json:"signal_cost,omitempty"` // cycles (default 5000)
+	RingPolicy string  `json:"ring_policy,omitempty"` // "suspend-all" (default) or "monitor-cr"
+
+	FaultSeed   uint64   `json:"fault_seed,omitempty"`
+	FaultPeriod uint64   `json:"fault_period,omitempty"` // 0 = fault plane disabled
+	FaultKinds  []string `json:"fault_kinds,omitempty"`  // default: all kinds
+	Watchdog    uint64   `json:"watchdog,omitempty"`     // livelock horizon, cycles
+
+	// --- execution-only (never in the cache key) ----------------------
+	Parallel     int  `json:"parallel,omitempty"`       // host workers for sweep fan-out
+	LegacyLoop   bool `json:"legacy_loop,omitempty"`    // force the legacy execution loop
+	NoDataWindow bool `json:"no_data_window,omitempty"` // disable the data-window cache
+}
+
+// DefaultSignalCost is the paper's conservative signal estimate,
+// applied when a request leaves SignalCost unset.
+const DefaultSignalCost = 5000
+
+// Canonicalize validates req and returns the canonical copy: every
+// default made explicit, inapplicable fields zeroed, fault kinds
+// sorted and deduplicated. Two requests asking for the same simulation
+// canonicalize to identical values (and therefore identical keys).
+func (req *Request) Canonicalize() (*Request, error) {
+	c := *req
+	if c.Kind == "" {
+		c.Kind = KindRun
+	}
+	if c.Size == "" {
+		c.Size = "small"
+	}
+	if _, err := ParseSize(c.Size); err != nil {
+		return nil, err
+	}
+	if c.SignalCost == nil {
+		sc := uint64(DefaultSignalCost)
+		c.SignalCost = &sc
+	}
+	if c.RingPolicy == "" {
+		c.RingPolicy = core.RingSuspendAll.String()
+	}
+	if _, err := parseRingPolicy(c.RingPolicy); err != nil {
+		return nil, err
+	}
+	if c.FaultPeriod == 0 {
+		// No injection: seed and kinds are inert, so normalize them away.
+		c.FaultSeed, c.FaultKinds = 0, nil
+	} else {
+		kinds, err := parseFaultKinds(c.FaultKinds)
+		if err != nil {
+			return nil, err
+		}
+		c.FaultKinds = canonicalKindNames(kinds)
+	}
+
+	switch c.Kind {
+	case KindRun:
+		c.Apps, c.Exp, c.Seqs = nil, "", 0
+		if c.App == "" {
+			return nil, fmt.Errorf("serve: run request needs an app")
+		}
+		if _, err := workloads.ByName(c.App); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if c.Mode == "" {
+			c.Mode = "shred"
+		}
+		if c.Mode != "shred" && c.Mode != "thread" {
+			return nil, fmt.Errorf("serve: unknown mode %q", c.Mode)
+		}
+		if len(c.Topology) == 0 {
+			c.Topology = []int{7}
+		}
+		cfg := core.DefaultConfig(core.Topology(c.Topology))
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	case KindSweep:
+		c.App, c.Mode, c.Topology, c.Trace = "", "", nil, false
+		switch c.Exp {
+		case "":
+			c.Exp = "eval"
+		case "eval", "fig4", "table1":
+		default:
+			return nil, fmt.Errorf("serve: unknown sweep exp %q (want eval, fig4, table1)", c.Exp)
+		}
+		if c.Seqs == 0 {
+			c.Seqs = 8
+		}
+		if c.Seqs < 2 || c.Seqs > 63 {
+			return nil, fmt.Errorf("serve: sweep seqs %d out of range [2,63]", c.Seqs)
+		}
+		for _, name := range c.Apps {
+			if _, err := workloads.ByName(name); err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown request kind %q (want %q or %q)", c.Kind, KindRun, KindSweep)
+	}
+	if c.Parallel < 0 {
+		c.Parallel = 0
+	}
+	return &c, nil
+}
+
+// keySchema versions the canonical encoding; bump it whenever a
+// result-affecting field is added or its rendering changes, so stale
+// cache entries can never be served for a new request shape.
+const keySchema = "mispserve/v1"
+
+// Key derives the content-address of a canonical request: a SHA-256
+// over a line-oriented rendering of every result-affecting field.
+// Execution-only knobs (Parallel, LegacyLoop, NoDataWindow) are
+// deliberately absent — the simulation is bit-identical across them,
+// so they must map to the same cache entry.
+func (c *Request) Key() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, keySchema)
+	fmt.Fprintf(&b, "kind=%s\n", c.Kind)
+	fmt.Fprintf(&b, "app=%s\n", c.App)
+	fmt.Fprintf(&b, "mode=%s\n", c.Mode)
+	fmt.Fprintf(&b, "topology=%s\n", joinInts(c.Topology))
+	fmt.Fprintf(&b, "trace=%t\n", c.Trace)
+	fmt.Fprintf(&b, "apps=%s\n", strings.Join(c.Apps, ","))
+	fmt.Fprintf(&b, "exp=%s\n", c.Exp)
+	fmt.Fprintf(&b, "seqs=%d\n", c.Seqs)
+	fmt.Fprintf(&b, "size=%s\n", c.Size)
+	fmt.Fprintf(&b, "signal=%d\n", *c.SignalCost)
+	fmt.Fprintf(&b, "ringpolicy=%s\n", c.RingPolicy)
+	fmt.Fprintf(&b, "faultseed=%d\n", c.FaultSeed)
+	fmt.Fprintf(&b, "faultperiod=%d\n", c.FaultPeriod)
+	fmt.Fprintf(&b, "faultkinds=%s\n", strings.Join(c.FaultKinds, ","))
+	fmt.Fprintf(&b, "watchdog=%d\n", c.Watchdog)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// config builds the machine configuration for a canonical run request.
+func (c *Request) config() (core.Config, error) {
+	cfg := workloads.DefaultConfig(core.Topology(c.Topology))
+	cfg.SignalCost = *c.SignalCost
+	policy, err := parseRingPolicy(c.RingPolicy)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.RingPolicy = policy
+	cfg.WatchdogHorizon = c.Watchdog
+	cfg.TraceEvents = c.Trace
+	if c.FaultPeriod != 0 {
+		kinds, err := parseFaultKinds(c.FaultKinds)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Fault = fault.Uniform(c.FaultSeed, c.FaultPeriod, kinds...)
+	}
+	cfg.LegacyLoop = c.LegacyLoop
+	cfg.NoDataWindow = c.NoDataWindow
+	return cfg, nil
+}
+
+// mode returns the canonical run request's runtime mode.
+func (c *Request) mode() shredlib.Mode {
+	if c.Mode == "thread" {
+		return shredlib.ModeThread
+	}
+	return shredlib.ModeShred
+}
+
+// ParseSize maps a size name to the workloads enum.
+func ParseSize(s string) (workloads.Size, error) {
+	switch s {
+	case "test":
+		return workloads.SizeTest, nil
+	case "small":
+		return workloads.SizeSmall, nil
+	case "ref":
+		return workloads.SizeRef, nil
+	}
+	return 0, fmt.Errorf("serve: unknown size %q (want test, small, ref)", s)
+}
+
+func parseRingPolicy(s string) (core.RingPolicy, error) {
+	switch s {
+	case core.RingSuspendAll.String():
+		return core.RingSuspendAll, nil
+	case core.RingMonitorCR.String():
+		return core.RingMonitorCR, nil
+	}
+	return 0, fmt.Errorf("serve: unknown ring policy %q", s)
+}
+
+func parseFaultKinds(names []string) ([]fault.Kind, error) {
+	var kinds []fault.Kind
+	for _, name := range names {
+		found := false
+		for _, k := range fault.Kinds() {
+			if k.String() == name {
+				kinds = append(kinds, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("serve: unknown fault kind %q (known: %v)", name, fault.Kinds())
+		}
+	}
+	return kinds, nil
+}
+
+// canonicalKindNames renders a kind set sorted in enum order with
+// duplicates removed: the fault plan is a pure function of the set, so
+// the key must not depend on spelling order.
+func canonicalKindNames(kinds []fault.Kind) []string {
+	if len(kinds) == 0 {
+		return nil
+	}
+	slices.Sort(kinds)
+	kinds = slices.Compact(kinds)
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return names
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}

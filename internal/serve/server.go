@@ -1,0 +1,480 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"misp/internal/obs"
+)
+
+// Admission-control sentinels. The HTTP layer maps ErrQueueFull to
+// 429 + Retry-After (backpressure: the client should retry) and
+// ErrDraining to 503 (the daemon is going away; try another instance).
+var (
+	ErrQueueFull = errors.New("serve: job queue full")
+	ErrDraining  = errors.New("serve: draining, not accepting jobs")
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Job is one accepted request's record. Mutable fields are guarded by
+// the owning Server's mutex; done is closed exactly once when the job
+// reaches a terminal status.
+type Job struct {
+	ID  string
+	Key string
+	Req *Request // canonical form
+
+	Status   JobStatus
+	Cached   bool // served from the result cache without simulating
+	Err      string
+	Result   *Result
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Wall     time.Duration // host run time (0 for cache hits)
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	// refs counts live waiters. A job submitted synchronously (detached
+	// == false) whose last waiter disconnects before completion is
+	// canceled — the client-disconnect abort path. Detached jobs
+	// (async submissions) always run to completion.
+	refs     int
+	detached bool
+}
+
+// Done returns the completion channel.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Config parameterizes a Server.
+type Config struct {
+	// QueueDepth bounds the number of jobs admitted but not yet running
+	// (default 64). A full queue rejects with ErrQueueFull.
+	QueueDepth int
+	// Workers is the number of jobs executed concurrently (default
+	// GOMAXPROCS/2, min 1). Each job may itself fan out over
+	// Request.Parallel host workers.
+	Workers int
+	// CacheDir persists the result cache across restarts ("" = memory
+	// only).
+	CacheDir string
+	// RetryAfter is the backpressure hint attached to queue-full
+	// rejections (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0) / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Server is the service plane: admission control in front of a bounded
+// queue, a fixed worker pool executing jobs on isolated machines, and
+// the content-addressed result cache.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // submission order, for listing
+	inflight map[string]*Job // key → non-terminal job (single-flight)
+	queue    chan *Job
+	draining bool
+	seq      int
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+	wg         sync.WaitGroup
+
+	// reg and the pre-resolved handles hold service metrics. The obs
+	// registry is unsynchronized by design (each machine owns its own);
+	// here every mutation happens under mu, and /metrics renders under
+	// mu too.
+	reg        *obs.Registry
+	mSubmitted *obs.Counter
+	mCompleted *obs.Counter
+	mFailed    *obs.Counter
+	mCanceled  *obs.Counter
+	mRejFull   *obs.Counter
+	mRejDrain  *obs.Counter
+	mCoalesced *obs.Counter
+	mWallMS    *obs.Histogram
+	exec       func(ctx context.Context, c *Request) (Artifacts, *Result, error)
+}
+
+// NewServer builds and starts a server: its workers are running and
+// Submit is live when it returns.
+func NewServer(cfg Config) (*Server, error) {
+	cfg.defaults()
+	cache, err := NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    cache,
+		start:    time.Now(),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		reg:      obs.NewRegistry(),
+		exec:     Execute,
+	}
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.mSubmitted = s.reg.Counter("serve.jobs.submitted")
+	s.mCompleted = s.reg.Counter("serve.jobs.completed")
+	s.mFailed = s.reg.Counter("serve.jobs.failed")
+	s.mCanceled = s.reg.Counter("serve.jobs.canceled")
+	s.mRejFull = s.reg.Counter("serve.rejected.queue_full")
+	s.mRejDrain = s.reg.Counter("serve.rejected.draining")
+	s.mCoalesced = s.reg.Counter("serve.jobs.coalesced")
+	s.reg.Counter("serve.cache.hits")
+	s.reg.Counter("serve.cache.misses")
+	s.mWallMS = s.reg.Histogram("serve.job.wall_ms")
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// RetryAfter is the configured backpressure hint.
+func (s *Server) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// Cache exposes the result cache (read-mostly: status and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Submit validates and admits one request. The returned job is:
+//
+//   - already terminal (StatusDone, Cached=true) on a cache hit;
+//   - an existing in-flight job when an identical canonical request is
+//     already queued or running (single-flight: a byte-identical
+//     request never simulates twice, even concurrently);
+//   - otherwise a fresh queued job.
+//
+// detached marks fire-and-forget submissions that must survive client
+// disconnects; synchronous submissions pass false and hold a waiter
+// ref (AddWaiter/ReleaseWaiter) for their connection's lifetime.
+func (s *Server) Submit(req *Request, detached bool) (*Job, error) {
+	c, err := req.Canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	key := c.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.mRejDrain.Inc()
+		return nil, ErrDraining
+	}
+
+	// Single-flight: piggyback on an identical in-flight job.
+	if j := s.inflight[key]; j != nil {
+		s.mCoalesced.Inc()
+		if detached {
+			j.detached = true
+		}
+		return j, nil
+	}
+
+	// Cache: an identical completed request is served without touching
+	// the queue at all.
+	if _, ok := s.cache.Get(key); ok {
+		j := s.newJobLocked(c, key, detached)
+		j.Status = StatusDone
+		j.Cached = true
+		j.Result = &Result{ChecksumOK: true}
+		j.Finished = j.Created
+		close(j.done)
+		s.mSubmitted.Inc()
+		s.mCompleted.Inc()
+		return j, nil
+	}
+
+	// Admission: accept only if the bounded queue has room.
+	j := s.newJobLocked(c, key, detached)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mRejFull.Inc()
+		return nil, ErrQueueFull
+	}
+	j.Status = StatusQueued
+	s.inflight[key] = j
+	s.mSubmitted.Inc()
+	return j, nil
+}
+
+// newJobLocked allocates and registers a job record. Called with mu
+// held.
+func (s *Server) newJobLocked(c *Request, key string, detached bool) *Job {
+	s.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("j%d-%s", s.seq, key[:8]),
+		Key:      key,
+		Req:      c,
+		Created:  time.Now(),
+		done:     make(chan struct{}),
+		detached: detached,
+	}
+	j.ctx, j.cancel = context.WithCancelCause(s.baseCtx)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job record in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Artifact fetches one artifact of a completed job from the cache.
+func (s *Server) Artifact(j *Job, name string) ([]byte, bool) {
+	if !ValidArtifactName(name) {
+		return nil, false
+	}
+	art, ok := s.cache.Peek(j.Key)
+	if !ok {
+		return nil, false
+	}
+	data, ok := art[name]
+	return data, ok
+}
+
+// Cancel aborts a job: a queued job never runs, a running job's
+// simulation stops at its next event horizon. Canceling a terminal job
+// is a no-op.
+func (s *Server) Cancel(id string, cause error) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.cancel(cause)
+	return true
+}
+
+// AddWaiter registers a synchronous client waiting on j.
+func (s *Server) AddWaiter(j *Job) {
+	s.mu.Lock()
+	j.refs++
+	s.mu.Unlock()
+}
+
+// ReleaseWaiter drops a waiter. When the last waiter of a
+// non-detached, non-terminal job disconnects, the job is canceled —
+// nobody is left to read the answer.
+func (s *Server) ReleaseWaiter(j *Job) {
+	s.mu.Lock()
+	j.refs--
+	abandon := j.refs <= 0 && !j.detached && !j.Status.Terminal()
+	s.mu.Unlock()
+	if abandon {
+		j.cancel(errors.New("serve: client disconnected"))
+	}
+}
+
+// worker executes queued jobs until the queue is closed (drain).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job through execution and settles its record.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if err := context.Cause(j.ctx); err != nil {
+		s.settleLocked(j, nil, err)
+		s.mu.Unlock()
+		return
+	}
+	j.Status = StatusRunning
+	j.Started = time.Now()
+	s.mu.Unlock()
+
+	art, res, err := s.exec(j.ctx, j.Req)
+	wall := time.Since(j.Started)
+
+	var putErr error
+	if err == nil {
+		// The job itself succeeded; losing disk persistence only costs a
+		// future re-simulation (the in-memory layer still has the entry).
+		putErr = s.cache.Put(j.Key, art)
+	}
+	s.mu.Lock()
+	j.Wall = wall
+	if putErr != nil {
+		s.reg.Counter("serve.cache.put_errors").Inc()
+	}
+	s.settleLocked(j, res, err)
+	s.mWallMS.Observe(uint64(wall.Milliseconds()))
+	s.mu.Unlock()
+}
+
+// settleLocked moves a job to its terminal status. Called with mu
+// held; closes done exactly once.
+func (s *Server) settleLocked(j *Job, res *Result, err error) {
+	if j.Status.Terminal() {
+		return
+	}
+	switch {
+	case err == nil:
+		j.Status = StatusDone
+		j.Result = res
+		s.mCompleted.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.Status = StatusCanceled
+		j.Err = fmt.Sprint(err)
+		s.mCanceled.Inc()
+	default:
+		j.Status = StatusFailed
+		j.Err = fmt.Sprint(err)
+		s.mFailed.Inc()
+	}
+	j.Finished = time.Now()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	close(j.done)
+}
+
+// QueueDepth returns (queued, capacity).
+func (s *Server) QueueDepth() (int, int) { return len(s.queue), cap(s.queue) }
+
+// Counts returns job-status aggregates for health reporting.
+func (s *Server) Counts() (queued, running, done, failed, canceled int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		switch j.Status {
+		case StatusQueued:
+			queued++
+		case StatusRunning:
+			running++
+		case StatusDone:
+			done++
+		case StatusFailed:
+			failed++
+		case StatusCanceled:
+			canceled++
+		}
+	}
+	return
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the service plane down: admission closes
+// immediately (new submissions get ErrDraining), every already-accepted
+// job is run to completion, and the call returns when the last worker
+// exits. If ctx expires first, the remaining jobs are canceled — each
+// settles as StatusCanceled with no partial artifacts (the cache is
+// only written after a fully successful execution) — and Drain waits
+// for the workers to acknowledge before returning ctx's error.
+// Idempotent: later calls wait on the same shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers finish the backlog, then exit
+	}
+	s.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline hit: abort everything still in flight (and still queued —
+	// job contexts cover both), then wait for the workers to settle the
+	// records. Simulations abort at their next event horizon, so this
+	// second wait is prompt.
+	s.baseCancel(fmt.Errorf("serve: drain deadline exceeded: %w", context.Cause(ctx)))
+	<-workersDone
+	return ctx.Err()
+}
+
+// Metrics renders the service metrics registry plus the live gauges
+// (queue depth, in-flight jobs, cache hit rate) as plain text.
+func (s *Server) Metrics() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	queued := len(s.queue)
+	running := 0
+	for _, j := range s.jobs {
+		if j.Status == StatusRunning {
+			running++
+		}
+	}
+	entries, hits, misses := s.cache.Stats()
+	s.reg.Counter("serve.queue.depth").Set(uint64(queued))
+	s.reg.Counter("serve.queue.capacity").Set(uint64(cap(s.queue)))
+	s.reg.Counter("serve.jobs.inflight").Set(uint64(running))
+	s.reg.Counter("serve.cache.entries").Set(uint64(entries))
+	s.reg.Counter("serve.cache.hits").Set(hits)
+	s.reg.Counter("serve.cache.misses").Set(misses)
+	return s.reg.String()
+}

@@ -22,6 +22,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -73,6 +74,17 @@ func Workers(n int) int {
 // returned error joins every failing job's error in index order, each
 // wrapped with its job number (errors.Is/As see through the join).
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, Stats, error) {
+	return MapCtx(context.Background(), workers, n,
+		func(_ context.Context, i int) (T, error) { return fn(i) })
+}
+
+// MapCtx is Map with cancellation: once ctx is canceled no new job is
+// dispatched — every undispatched job's slot carries ctx's error — and
+// each job receives ctx so in-flight simulations can abort at their
+// next event horizon (core.Machine.SetContext). Dispatch order and
+// result indexing are unchanged, so a run that completes without
+// cancellation is byte-identical to Map's.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, Stats, error) {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
@@ -81,6 +93,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, Stats, error) {
 	errs := make([]error, n)
 	busy := make([]time.Duration, workers+1)
 	start := time.Now()
+	done := ctx.Done()
 	runJob := func(slot, i int) {
 		t0 := time.Now()
 		defer func() {
@@ -89,10 +102,35 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, Stats, error) {
 				errs[i] = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 			}
 		}()
-		results[i], errs[i] = fn(i)
+		results[i], errs[i] = fn(ctx, i)
+	}
+	// A skipped slot's chain always contains ctx.Err() so callers can
+	// classify host-side aborts with errors.Is(err, context.Canceled)
+	// even when the canceler attached a descriptive cause.
+	skip := func(i int) {
+		err := ctx.Err()
+		if cause := context.Cause(ctx); cause != nil && cause != err {
+			err = errors.Join(err, cause)
+		}
+		errs[i] = fmt.Errorf("not dispatched: %w", err)
+	}
+	stop := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if stop() {
+				skip(i)
+				continue
+			}
 			runJob(0, i)
 		}
 	} else {
@@ -106,6 +144,10 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, Stats, error) {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
+					}
+					if stop() {
+						skip(i)
+						continue
 					}
 					runJob(slot, i)
 				}

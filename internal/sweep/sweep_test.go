@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -150,5 +151,81 @@ func TestMapJoinsAllErrors(t *testing.T) {
 		if !errors.Is(err, sentinel) {
 			t.Fatalf("workers=%d: errors.Is lost the wrapped sentinel", workers)
 		}
+	}
+}
+
+// TestMapCtxCancelStopsDispatch: canceling mid-sweep stops dispatching
+// new jobs; undispatched jobs report the cancellation cause and
+// already-finished results are kept.
+func TestMapCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var dispatched atomic.Int32
+	block := make(chan struct{})
+	_, _, err := MapCtx(ctx, 2, 100, func(ctx context.Context, i int) (int, error) {
+		n := dispatched.Add(1)
+		if n == 2 {
+			cancel()
+			close(block)
+		}
+		<-block
+		return i, nil
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled through the join", err)
+	}
+	if n := dispatched.Load(); n > 4 {
+		t.Fatalf("dispatched %d jobs after cancel, want dispatch to stop promptly", n)
+	}
+}
+
+// TestMapCtxPreCanceled: a canceled context dispatches nothing.
+func TestMapCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	_, _, err := MapCtx(ctx, 4, 8, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-canceled sweep still ran %d jobs", ran.Load())
+	}
+}
+
+// TestMapCtxUncanceledMatchesMap: with a background context MapCtx is
+// byte-for-byte the old Map — same results, same ordering.
+func TestMapCtxUncanceledMatchesMap(t *testing.T) {
+	fn := func(i int) (int, error) { return i * 3, nil }
+	a, _, err1 := Map(4, 12, fn)
+	b, _, err2 := MapCtx(context.Background(), 4, 12, func(_ context.Context, i int) (int, error) { return fn(i) })
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d: Map=%d MapCtx=%d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMapCtxCustomCauseClassifiable: when the canceler attaches a
+// descriptive cause (cli.SignalContext, serve job cancellation), the
+// aggregate error must still satisfy errors.Is(err, context.Canceled)
+// so callers can tell a host-side abort from a simulation failure.
+func TestMapCtxCustomCauseClassifiable(t *testing.T) {
+	cause := errors.New("interrupted by operator")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	_, _, err := MapCtx(ctx, 2, 4, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want the descriptive cause in the chain", err)
 	}
 }

@@ -1,0 +1,75 @@
+// Package version exposes the build's identity — module version plus
+// VCS revision — for the -version flag every cmd/ binary carries and
+// for the mispserve daemon's /healthz response. Everything comes from
+// debug.ReadBuildInfo, so `go build` and `go install` stamp it with no
+// extra tooling; `go run` from a dirty tree degrades to "devel".
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info is the build identity.
+type Info struct {
+	Module   string `json:"module"`   // module path (e.g. "misp")
+	Version  string `json:"version"`  // module version, or "devel"
+	Revision string `json:"revision"` // VCS revision (short), or ""
+	Time     string `json:"time,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+	Go       string `json:"go"` // toolchain that built the binary
+}
+
+// Get reads the build identity from the running binary.
+func Get() Info {
+	info := Info{Module: "misp", Version: "devel"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		info.Version = bi.Main.Version
+	}
+	info.Go = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev := s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			info.Revision = rev
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, e.g.
+//
+//	misp devel (rev 0d62220a1b2c, go1.24.0)
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s", i.Module, i.Version)
+	if i.Revision != "" {
+		s += fmt.Sprintf(" (rev %s", i.Revision)
+		if i.Dirty {
+			s += "+dirty"
+		}
+		if i.Go != "" {
+			s += ", " + i.Go
+		}
+		s += ")"
+	} else if i.Go != "" {
+		s += fmt.Sprintf(" (%s)", i.Go)
+	}
+	return s
+}
+
+// String returns the package-level one-line identity.
+func String() string { return Get().String() }

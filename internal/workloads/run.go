@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,6 +24,21 @@ type RunResult struct {
 // from cfg.
 func Run(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size) (*RunResult, error) {
 	return RunFlags(w, mode, cfg, sz, 0)
+}
+
+// RunCtx is Run with cancellation: when ctx is canceled the simulation
+// aborts at its next event horizon and the error wraps ctx's cause.
+func RunCtx(ctx context.Context, w *Workload, mode shredlib.Mode, cfg core.Config, sz Size) (*RunResult, error) {
+	return RunFlagsCtx(ctx, w, mode, cfg, sz, 0)
+}
+
+// RunFlagsCtx is RunFlags with cancellation.
+func RunFlagsCtx(ctx context.Context, w *Workload, mode shredlib.Mode, cfg core.Config, sz Size, extra int64) (*RunResult, error) {
+	pr, err := PrepareFlags(w, mode, cfg, sz, extra)
+	if err != nil {
+		return nil, err
+	}
+	return pr.RunCtx(ctx)
 }
 
 // RunFlags is Run with extra rt_init flags (ablation knobs).
@@ -70,6 +86,13 @@ func PrepareFlags(w *Workload, mode shredlib.Mode, cfg core.Config, sz Size, ext
 // Run executes the prepared workload to completion and collects the
 // result. It consumes the Prepared — a machine cannot be run twice.
 func (pr *Prepared) Run() (*RunResult, error) {
+	return pr.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cancellation (see RunCtx above). A Background
+// context costs nothing in the machine's hot loops.
+func (pr *Prepared) RunCtx(ctx context.Context) (*RunResult, error) {
+	pr.Machine.SetContext(ctx)
 	if err := pr.Machine.Run(); err != nil {
 		return nil, fmt.Errorf("workloads: %s (%s, %v): %w", pr.W.Name, pr.Mode, pr.Cfg.Topology, err)
 	}
