@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck faultcheck servecheck
+.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck faultcheck servecheck snapcheck
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,25 @@ faultcheck:
 	$(GO) run ./cmd/mispbench -exp resilience -size test -faultseeds 3 -csv /tmp/misp-csv-fN -parallel 0 > /dev/null
 	diff -r /tmp/misp-csv-f1 /tmp/misp-csv-fN
 
+# snapcheck: the snapshot/fork plane gate. Difftests the codec (capture
+# → restore → run-to-completion bit-identical to the uninterrupted run,
+# on both loops and under fault injection), the warm pool's fork-vs-cold
+# parity, and mispsim's -snapshot/-restore crash-resume flow: the
+# restored run must report the same cycle count and checksum as an
+# uninterrupted one.
+snapcheck:
+	$(GO) test -race -run 'TestCapture|TestFork|TestStructural|TestPause|TestMidRun|TestSnapshotFile|TestLoadRejects|TestWarmPool' \
+		./internal/snap/... ./internal/workloads
+	$(GO) build -o /tmp/misp-snapcheck-sim ./cmd/mispsim
+	rm -f /tmp/misp-snapcheck.misp
+	/tmp/misp-snapcheck-sim -w gauss -size test -snapshot /tmp/misp-snapcheck.misp -snapat 60000 > /dev/null
+	test -s /tmp/misp-snapcheck.misp
+	/tmp/misp-snapcheck-sim -w gauss -size test -restore /tmp/misp-snapcheck.misp > /tmp/misp-snapcheck-resumed.txt
+	/tmp/misp-snapcheck-sim -w gauss -size test > /tmp/misp-snapcheck-full.txt
+	grep -E 'cycles|checksum' /tmp/misp-snapcheck-resumed.txt > /tmp/misp-snapcheck-resumed.key
+	grep -E 'cycles|checksum' /tmp/misp-snapcheck-full.txt > /tmp/misp-snapcheck-full.key
+	diff /tmp/misp-snapcheck-resumed.key /tmp/misp-snapcheck-full.key
+
 # servecheck boots the mispserve daemon on a random port, submits a
 # tiny run over HTTP, re-submits it, and asserts the second submission
 # is a cache hit with byte-identical artifact bytes, then SIGTERMs the
@@ -73,4 +92,4 @@ servecheck:
 	bash scripts/serve_smoke.sh
 
 # ci is the full gate run by the GitHub Actions workflow.
-ci: build vet test race smoke benchgate paracheck faultcheck servecheck
+ci: build vet test race smoke benchgate paracheck faultcheck servecheck snapcheck

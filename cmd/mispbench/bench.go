@@ -77,8 +77,10 @@ func benchReps(size workloads.Size) int {
 // wall time, heap allocations). Only Machine.Run is timed — machine
 // construction (a 128 MiB memory clear) and result verification happen
 // outside the clock, and each rep runs on a freshly prepared machine
-// with the best rep reported.
-func benchLoop(size workloads.Size, seqs int, mut func(*core.Config)) (uint64, uint64, time.Duration, uint64, error) {
+// with the best rep reported. The loop variants are run-only config,
+// so all reps of one workload fork a single pooled snapshot when warm
+// is non-nil.
+func benchLoop(size workloads.Size, seqs int, mut func(*core.Config), warm *workloads.WarmPool) (uint64, uint64, time.Duration, uint64, error) {
 	top := make(core.Topology, 1)
 	top[0] = seqs - 1 // one OMS plus seqs-1 AMSs
 	cfg := workloads.DefaultConfig(top)
@@ -96,7 +98,7 @@ func benchLoop(size workloads.Size, seqs int, mut func(*core.Config)) (uint64, u
 		best := time.Duration(math.MaxInt64)
 		var bestAllocs uint64
 		for rep := 0; rep < reps; rep++ {
-			pr, err := workloads.Prepare(w, shredlib.ModeShred, cfg, size)
+			pr, err := warm.Prepare(w, shredlib.ModeShred, cfg, size, 0)
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
@@ -185,7 +187,7 @@ func benchSweep(size workloads.Size, seqs, parallel int, res *benchResult) error
 // workloads plus the serial-vs-parallel sweep, and writes the result as
 // JSON so CI can track the perf trajectory. A non-empty baselinePath
 // gates the run against a committed baseline.
-func runBench(size workloads.Size, seqs, parallel int, jsonPath, baselinePath string) error {
+func runBench(size workloads.Size, seqs, parallel int, jsonPath, baselinePath string, warm *workloads.WarmPool) error {
 	reps := benchReps(size)
 	variants := []struct {
 		name string
@@ -206,7 +208,7 @@ func runBench(size workloads.Size, seqs, parallel int, jsonPath, baselinePath st
 	for i, v := range variants {
 		var m measure
 		var err error
-		m.instrs, m.cycles, m.wall, m.allocs, err = benchLoop(size, seqs, v.mut)
+		m.instrs, m.cycles, m.wall, m.allocs, err = benchLoop(size, seqs, v.mut, warm)
 		if err != nil {
 			return err
 		}

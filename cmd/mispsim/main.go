@@ -7,6 +7,13 @@
 //
 //	mispsim -w raytracer [-mode shred|thread] [-top 7 | -top 3,3] [-size small] [-trace]
 //	mispsim -run prog.svm [-top 3]
+//	mispsim -w swim -snapshot ckpt.misp -snapat 50000000   # checkpoint mid-run
+//	mispsim -w swim -restore ckpt.misp                     # resume to completion
+//
+// A restored run is bit-identical to the uninterrupted one: same
+// cycles, checksum, counters, and trace events. `-w` and `-size` must
+// match the checkpointed run; the machine configuration is taken from
+// the snapshot itself.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"misp/internal/obs"
 	"misp/internal/report"
 	"misp/internal/shredlib"
+	"misp/internal/snap"
 	"misp/internal/version"
 	"misp/internal/workloads"
 )
@@ -46,6 +54,9 @@ func main() {
 	faultPeriod := flag.Uint64("faultperiod", 0, "mean retirements between injected faults per kind (0 = fault plane disabled)")
 	faultKinds := flag.String("faultkinds", "", "comma-separated fault kinds to inject (default: all); see internal/fault")
 	watchdog := flag.Uint64("watchdog", 0, "livelock watchdog horizon in cycles (0 = 8x timer interval when faults are on, else off)")
+	snapPath := flag.String("snapshot", "", "pause at -snapat, write a snapshot to this file, and exit")
+	snapAt := flag.Uint64("snapat", 0, "cycle past which -snapshot captures (the run pauses at the first quiescent point beyond it)")
+	restorePath := flag.String("restore", "", "resume from a snapshot file instead of starting fresh (config flags are ignored; the snapshot's configuration applies)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -89,6 +100,10 @@ func main() {
 	ctx, stop := cli.SignalContext("mispsim")
 	defer stop()
 
+	if *runFile != "" && (*snapPath != "" || *restorePath != "") {
+		fatal(fmt.Errorf("-snapshot/-restore work on workload runs, not -run programs"))
+	}
+
 	if *runFile != "" {
 		src, err := os.ReadFile(*runFile)
 		if err != nil {
@@ -130,9 +145,54 @@ func main() {
 		mode = shredlib.ModeThread
 	}
 
-	res, err := workloads.RunCtx(ctx, w, mode, cfg, size)
+	var pr *workloads.Prepared
+	if *restorePath != "" {
+		s, err := snap.LoadFile(*restorePath)
+		if err != nil {
+			fatal(err)
+		}
+		m, k, err := s.Fork(nil)
+		if err != nil {
+			fatal(err)
+		}
+		pr, err = workloads.Resume(w, mode, m, k)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = m.Cfg
+		top = cfg.Topology
+		fmt.Printf("restored   %s at cycle %d\n", *restorePath, m.MaxClock())
+	} else {
+		pr, err = workloads.Prepare(w, mode, cfg, size)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *snapPath != "" {
+		if *snapAt == 0 {
+			fatal(fmt.Errorf("-snapshot needs -snapat <cycle>"))
+		}
+		pr.Machine.SetPause(*snapAt)
+	}
+	res, err := pr.RunCtx(ctx)
 	if err != nil {
+		if *snapPath != "" && errors.Is(err, core.ErrPaused) {
+			s, err := snap.Capture(pr.Machine, pr.Kernel)
+			if err != nil {
+				fatal(err)
+			}
+			if err := s.SaveFile(*snapPath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("paused at cycle %d; wrote %d-byte snapshot to %s\n",
+				pr.Machine.MaxClock(), s.Size(), *snapPath)
+			fmt.Printf("resume with: mispsim -w %s -size %s -restore %s\n", w.Name, size, *snapPath)
+			return
+		}
 		fatal(err)
+	}
+	if *snapPath != "" {
+		fmt.Printf("(run finished before cycle %d; no snapshot written)\n\n", *snapAt)
 	}
 	want := w.Ref(size)
 	status := "OK"

@@ -107,6 +107,12 @@ type Machine struct {
 	// cycLimit is Cfg.MaxCycles normalised for the hot loop: noEvent when
 	// unlimited, so the per-instruction guard is one unsigned compare.
 	cycLimit uint64
+	// pauseAt stops the run (with ErrPaused) once the selected
+	// sequencer's clock strictly exceeds it — checked at exactly the
+	// MaxCycles sites, so the stop lands on an instruction boundary and
+	// the machine stays resumable. 0 disables. pauseLimit is its
+	// noEvent-normalised mirror for the fast loop.
+	pauseAt, pauseLimit uint64
 
 	// prof mirrors Obs.Prof (nil when profiling is off) for the
 	// interpreter's hot path.
@@ -271,6 +277,21 @@ func (m *Machine) fatalf(format string, args ...any) {
 	}
 }
 
+// ErrPaused is returned by Run when the machine reaches a SetPause
+// boundary. Unlike every other stop it is not fatal: no stop error is
+// latched and no Diagnosis is built, so the machine can be snapshotted
+// (internal/snap) or resumed — clear the pause with SetPause(0) and
+// call Run again.
+var ErrPaused = errors.New("core: run paused")
+
+// SetPause arms a pause point: Run returns ErrPaused once the selected
+// sequencer's local clock strictly exceeds cycle, with the machine
+// stopped on an instruction boundary in a resumable, capturable state.
+// The stop point is deterministic for a given loop flavor (it mirrors
+// the MaxCycles check sites), but legacy and fast loops may pause at
+// different boundaries for the same cycle. SetPause(0) disarms.
+func (m *Machine) SetPause(cycle uint64) { m.pauseAt = cycle }
+
 // Run drives the machine until the OS reports completion, a fatal
 // condition occurs, or the cycle limit is exceeded.
 func (m *Machine) Run() error {
@@ -306,6 +327,9 @@ func (m *Machine) runLegacy() error {
 		if s == nil {
 			return m.deadlockDiag()
 		}
+		if m.pauseAt != 0 && s.Clock > m.pauseAt {
+			return ErrPaused
+		}
 		if m.Cfg.MaxCycles > 0 && s.Clock > m.Cfg.MaxCycles {
 			return m.cycleLimitDiag()
 		}
@@ -327,6 +351,10 @@ func (m *Machine) runFast() error {
 	m.cycLimit = noEvent
 	if m.Cfg.MaxCycles > 0 {
 		m.cycLimit = m.Cfg.MaxCycles
+	}
+	m.pauseLimit = noEvent
+	if m.pauseAt != 0 {
+		m.pauseLimit = m.pauseAt
 	}
 	// os.Done() can flip only inside a kernel entry, and every kernel
 	// entry sets evqDirty — so the interface call is needed only when the
@@ -352,6 +380,9 @@ func (m *Machine) runFast() error {
 			return m.deadlockDiag()
 		}
 		if s.State == StateIdle {
+			if s.Clock > m.pauseLimit {
+				return ErrPaused
+			}
 			if m.Cfg.MaxCycles > 0 && s.Clock > m.Cfg.MaxCycles {
 				return m.cycleLimitDiag()
 			}
@@ -435,6 +466,9 @@ func (m *Machine) runRound(s *Sequencer, T uint64, batch int) error {
 // non-breaking one. runRound relies on this to keep a tied cohort
 // running without re-selection.
 func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean bool, err error) {
+	if s.Clock > m.pauseLimit {
+		return false, ErrPaused
+	}
 	if s.Clock > m.cycLimit {
 		return false, m.cycleLimitDiag()
 	}
@@ -471,6 +505,9 @@ func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean boo
 		return false, nil
 	}
 	limit := m.cycLimit
+	if m.pauseLimit < limit {
+		limit = m.pauseLimit
+	}
 	prof := m.prof
 	for n := 0; n < max; n++ {
 		if s.Clock > hT || (s.Clock == hT && hID < s.ID) {
@@ -480,6 +517,11 @@ func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean boo
 			return true, nil
 		}
 		if s.Clock > limit {
+			// Pause wins ties: it is the non-fatal stop, so a machine paused
+			// exactly at its cycle limit stays capturable.
+			if s.Clock > m.pauseLimit {
+				return false, ErrPaused
+			}
 			return false, m.cycleLimitDiag()
 		}
 		pc, c0 := s.PC, s.Clock

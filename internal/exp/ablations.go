@@ -8,7 +8,6 @@ import (
 	"misp/internal/report"
 	"misp/internal/shredlib"
 	"misp/internal/sweep"
-	"misp/internal/workloads"
 )
 
 // This file implements the ablations DESIGN.md calls out:
@@ -48,7 +47,7 @@ func AblationRingPolicy(opt Options) ([]RingPolicyRow, error) {
 		w, policy := ws[i/2], policies[i%2]
 		cfg := opt.Config(core.Topology{opt.Seqs - 1})
 		cfg.RingPolicy = policy
-		res, err := workloads.RunCtx(ctx, w, shredlib.ModeShred, cfg, opt.Size)
+		res, err := opt.run(ctx, w, shredlib.ModeShred, cfg, 0)
 		if err != nil {
 			return cell{}, err
 		}
@@ -119,7 +118,7 @@ func AblationProbe(opt Options) ([]ProbeRow, error) {
 		if probe {
 			extra = shredlib.FlagProbePages
 		}
-		res, err := workloads.RunFlagsCtx(ctx, w, shredlib.ModeShred, opt.Config(core.Topology{opt.Seqs - 1}), opt.Size, extra)
+		res, err := opt.run(ctx, w, shredlib.ModeShred, opt.Config(core.Topology{opt.Seqs - 1}), extra)
 		if err != nil {
 			return cell{}, err
 		}
@@ -195,7 +194,7 @@ func AblationSignalSweep(opt Options, signals []uint64) ([]SweepRow, error) {
 		w, sig := ws[i/nc], signals[i%nc]
 		cfg := opt.Config(core.Topology{opt.Seqs - 1})
 		cfg.SignalCost = sig
-		res, err := workloads.RunCtx(ctx, w, shredlib.ModeShred, cfg, opt.Size)
+		res, err := opt.run(ctx, w, shredlib.ModeShred, cfg, 0)
 		if err != nil {
 			return cell{}, err
 		}

@@ -44,6 +44,15 @@ type Options struct {
 	// Ctx cancels the experiment: dispatch stops and in-flight
 	// simulations abort at their next event horizon (nil = Background).
 	Ctx context.Context
+	// Warm, when non-nil, routes machine preparation through the
+	// snapshot plane's warm pool: the first run of each (workload, mode,
+	// size, structural-config) key prepares cold and captures a
+	// snapshot; every later run forks it with the run-only config
+	// applied, skipping machine construction and program load. Results
+	// are bit-identical either way (difftested in warm_test.go). The
+	// pool is safe for concurrent use and may be shared across
+	// experiments.
+	Warm *workloads.WarmPool
 }
 
 func (o *Options) defaults() {
@@ -70,6 +79,17 @@ func (o *Options) addStats(st sweep.Stats) {
 	if st.Workers > o.SweepStats.Workers {
 		o.SweepStats.Workers = st.Workers
 	}
+}
+
+// run executes one workload run through the warm pool when one is
+// attached (a nil pool degrades to a plain cold prepare). extra is the
+// workload's rt_init flag word, part of the pool key.
+func (o *Options) run(ctx context.Context, w *workloads.Workload, mode shredlib.Mode, cfg core.Config, extra int64) (*workloads.RunResult, error) {
+	pr, err := o.Warm.Prepare(w, mode, cfg, o.Size, extra)
+	if err != nil {
+		return nil, err
+	}
+	return pr.RunCtx(ctx)
 }
 
 func (o *Options) workloads() ([]*workloads.Workload, error) {
@@ -182,7 +202,7 @@ func Evaluate(opt Options) ([]*AppResult, error) {
 			cfg = opt.Config(smpTop)
 			mode = shredlib.ModeThread
 		}
-		res, err := workloads.RunCtx(ctx, w, mode, cfg, opt.Size)
+		res, err := opt.run(ctx, w, mode, cfg, 0)
 		if err != nil {
 			return evalRun{}, err
 		}

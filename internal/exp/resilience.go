@@ -42,11 +42,15 @@ type ResilienceOptions struct {
 	SeedsPerCell int
 	// Kinds restricts injection to the named kinds (default: all).
 	Kinds []fault.Kind
-	// Config, Parallel, SweepStats, Ctx: as in Options.
+	// Config, Parallel, SweepStats, Ctx, Warm: as in Options. The warm
+	// pool pays off especially well here: every campaign in a topology
+	// cell shares one prepared image, since the fault plane is a
+	// run-only override.
 	Config     func(core.Topology) core.Config
 	Parallel   int
 	SweepStats *sweep.Stats
 	Ctx        context.Context
+	Warm       *workloads.WarmPool
 }
 
 func (o *ResilienceOptions) defaults() {
@@ -129,7 +133,7 @@ func Resilience(opt ResilienceOptions) ([]ResilienceRow, error) {
 			cfg = opt.Config(core.Topology{opt.AMSCounts[ai]})
 			cfg.Fault = fault.Uniform(uint64(si)*1_000_003+7, opt.Periods[pi], opt.Kinds...)
 		}
-		pr, err := workloads.Prepare(w, shredlib.ModeShred, cfg, opt.Size)
+		pr, err := opt.Warm.Prepare(w, shredlib.ModeShred, cfg, opt.Size, 0)
 		if err != nil {
 			return campaignRun{}, err
 		}

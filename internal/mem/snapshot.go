@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"misp/internal/snap/wire"
+)
+
+// Snapshot codecs for the memory system. The encoding is content
+// driven: physical memory stores exactly the frames that contain any
+// nonzero byte (page tables included — they live in simulated physical
+// memory), and restore materializes a fresh zeroed flat array and
+// copies only the stored frames in. The encoded frame images are the
+// shared, immutable side of the snapshot plane's copy-on-write story:
+// every fork decodes against the same buffer and owns a private array,
+// so fork cost scales with resident pages, not configured memory.
+//
+// Deliberately NOT captured (host-side caches, rebuilt or re-warmed
+// after restore):
+//   - per-frame store-generation counters (Phys.gens): they exist only
+//     to invalidate host-side derived caches (decoded-instruction
+//     pages, data windows), all of which are reset on restore.
+
+// EncodeSnapshot writes the physical memory: frame count, the free
+// stack verbatim (allocation order is architectural — AllocFrame pops
+// deterministically), and every frame with nonzero content.
+func (p *Phys) EncodeSnapshot(w *wire.Writer) {
+	w.U32(p.numFrames)
+	w.U64(uint64(len(p.free)))
+	for _, f := range p.free {
+		w.U32(f)
+	}
+	var resident uint64
+	for f := uint32(0); f < p.numFrames; f++ {
+		if !zeroFrame(p.frameBytes(f)) {
+			resident++
+		}
+	}
+	w.U64(resident)
+	for f := uint32(0); f < p.numFrames; f++ {
+		b := p.frameBytes(f)
+		if zeroFrame(b) {
+			continue
+		}
+		w.U32(f)
+		w.Raw(b)
+	}
+}
+
+// frameBytes returns frame f's image without touching generations.
+func (p *Phys) frameBytes(f uint32) []byte {
+	base := uint64(f) << PageShift
+	return p.data[base : base+PageSize]
+}
+
+// zeroFrame reports whether every byte of a frame image is zero.
+func zeroFrame(b []byte) bool {
+	for len(b) >= 8 {
+		if binary.LittleEndian.Uint64(b) != 0 {
+			return false
+		}
+		b = b[8:]
+	}
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RestorePhys rebuilds a physical memory from its snapshot. size is the
+// configured physical memory size and is validated against the encoded
+// frame count.
+func RestorePhys(r *wire.Reader, size uint64) (*Phys, error) {
+	numFrames := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if size == 0 || size%PageSize != 0 || uint64(numFrames) != size/PageSize {
+		return nil, fmt.Errorf("mem: snapshot has %d frames, config wants %d bytes", numFrames, size)
+	}
+	nFree := r.Len(int(numFrames))
+	if nFree < 0 {
+		return nil, r.Err()
+	}
+	p := &Phys{
+		data:      make([]byte, size),
+		numFrames: numFrames,
+		free:      make([]uint32, nFree),
+		gens:      make([]uint32, numFrames),
+	}
+	for i := range p.free {
+		f := r.U32()
+		if f == 0 || f >= numFrames {
+			return nil, fmt.Errorf("mem: snapshot free frame %d out of range", f)
+		}
+		p.free[i] = f
+	}
+	resident := r.Len(int(numFrames))
+	if resident < 0 {
+		return nil, r.Err()
+	}
+	for i := 0; i < resident; i++ {
+		f := r.U32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if f >= numFrames {
+			return nil, fmt.Errorf("mem: snapshot resident frame %d out of range", f)
+		}
+		if err := r.CopyInto(p.frameBytes(f)); err != nil {
+			return nil, err
+		}
+	}
+	return p, r.Err()
+}
+
+// EncodeSnapshot writes the TLB: all entries (valid or not — the
+// direct-mapped slot position is architectural) plus the generation and
+// statistics counters. The stats feed Table 1, so restore must
+// continue them exactly where the capture left off.
+func (t *TLB) EncodeSnapshot(w *wire.Writer) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		w.U32(e.vpn)
+		w.U32(e.pfn)
+		w.Bool(e.write)
+	}
+	w.U64(t.Gen)
+	w.U64(t.Hits)
+	w.U64(t.Misses)
+	w.U64(t.Flushes)
+	w.U64(t.PermMisses)
+}
+
+// DecodeSnapshot restores the TLB in place.
+func (t *TLB) DecodeSnapshot(r *wire.Reader) {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{vpn: r.U32(), pfn: r.U32(), write: r.Bool()}
+	}
+	t.Gen = r.U64()
+	t.Hits = r.U64()
+	t.Misses = r.U64()
+	t.Flushes = r.U64()
+	t.PermMisses = r.U64()
+}
+
+// RestoreSpace reassembles an address space whose page tables already
+// live in the restored physical memory: no frames are allocated and no
+// pages are mapped — root simply reattaches the existing page
+// directory. vmas is the decoded region list (kept sorted by start, as
+// AddVMA maintains it).
+func RestoreSpace(p *Phys, root uint32, brk, mapped uint64, vmas []*VMA) (*Space, error) {
+	if !p.frameValid(root) {
+		return nil, fmt.Errorf("mem: snapshot page-table root %d out of range", root)
+	}
+	sorted := sort.SliceIsSorted(vmas, func(i, j int) bool { return vmas[i].Start < vmas[j].Start })
+	if !sorted {
+		return nil, fmt.Errorf("mem: snapshot VMA list out of order")
+	}
+	return &Space{
+		Phys:   p,
+		PT:     &PageTable{Phys: p, Root: root},
+		vmas:   vmas,
+		Brk:    brk,
+		Mapped: mapped,
+	}, nil
+}

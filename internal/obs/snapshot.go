@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"misp/internal/snap/wire"
+)
+
+// Snapshot codecs for the observability subsystem. The obs state is
+// part of the machine's architectural output — the experiment tables
+// read the metrics registry and the difftest oracles compare event
+// streams — so a restored run must continue counters, histograms, the
+// event buffer (including its ring head and drop counts), and the PC
+// profile exactly where the capture left off. Sinks are host-side
+// attachments and are not captured; a restored bus starts with none.
+
+// EncodeSnapshot writes the bus: recording flags, the buffered events
+// in storage order (ring head preserved), and the loss/kind counters.
+func (b *Bus) EncodeSnapshot(w *wire.Writer) {
+	w.Bool(b.enabled)
+	w.U8(uint8(b.mode))
+	w.Int(b.max)
+	w.Int(b.head)
+	w.U64(b.dropped)
+	w.U64(b.evicted)
+	for _, n := range b.kindCount {
+		w.U64(n)
+	}
+	w.U64(uint64(len(b.buf)))
+	for _, e := range b.buf {
+		w.U64(e.TS)
+		w.U64(uint64(uint32(e.Seq)))
+		w.U8(uint8(e.Kind))
+		w.U64(e.A)
+		w.U64(e.B)
+	}
+}
+
+// DecodeSnapshot restores the bus in place, replacing its buffer.
+func (b *Bus) DecodeSnapshot(r *wire.Reader) error {
+	b.enabled = r.Bool()
+	b.mode = BufferMode(r.U8())
+	b.max = r.Int()
+	b.head = r.Int()
+	b.dropped = r.U64()
+	b.evicted = r.U64()
+	for i := range b.kindCount {
+		b.kindCount[i] = r.U64()
+	}
+	n := r.Len(b.max)
+	if n < 0 {
+		return r.Err()
+	}
+	b.buf = make([]Event, n)
+	for i := range b.buf {
+		b.buf[i] = Event{
+			TS:   r.U64(),
+			Seq:  int32(uint32(r.U64())),
+			Kind: Kind(r.U8()),
+			A:    r.U64(),
+			B:    r.U64(),
+		}
+	}
+	if b.max <= 0 || b.head < 0 || b.head >= b.max {
+		return fmt.Errorf("obs: snapshot bus geometry max=%d head=%d", b.max, b.head)
+	}
+	return r.Err()
+}
+
+// EncodeSnapshot writes the registry with names sorted, so identical
+// state always encodes to identical bytes.
+func (g *Registry) EncodeSnapshot(w *wire.Writer) {
+	cnames := make([]string, 0, len(g.counters))
+	for name := range g.counters {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	w.U64(uint64(len(cnames)))
+	for _, name := range cnames {
+		w.String(name)
+		w.U64(g.counters[name].v)
+	}
+	hnames := make([]string, 0, len(g.hists))
+	for name := range g.hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	w.U64(uint64(len(hnames)))
+	for _, name := range hnames {
+		w.String(name)
+		h := g.hists[name]
+		w.U64(h.count)
+		w.U64(h.sum)
+		w.U64(h.min)
+		w.U64(h.max)
+		for _, n := range h.buckets {
+			w.U64(n)
+		}
+	}
+}
+
+// DecodeSnapshot restores the registry in place (get-or-create per
+// name, so handles resolved before or after the decode see the same
+// objects).
+func (g *Registry) DecodeSnapshot(r *wire.Reader) error {
+	nc := r.Len(1 << 20)
+	for i := 0; i < nc; i++ {
+		name := r.String()
+		v := r.U64()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		g.Counter(name).Set(v)
+	}
+	nh := r.Len(1 << 20)
+	for i := 0; i < nh; i++ {
+		name := r.String()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		h := g.Histogram(name)
+		h.count = r.U64()
+		h.sum = r.U64()
+		h.min = r.U64()
+		h.max = r.U64()
+		for j := range h.buckets {
+			h.buckets[j] = r.U64()
+		}
+	}
+	return r.Err()
+}
+
+// EncodeSnapshot writes the PC profile sorted by PC.
+func (p *Profile) EncodeSnapshot(w *wire.Writer) {
+	pcs := make([]uint64, 0, len(p.pcs))
+	for pc := range p.pcs {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	w.U64(uint64(len(pcs)))
+	for _, pc := range pcs {
+		st := p.pcs[pc]
+		w.U64(pc)
+		w.U64(st.Cycles)
+		w.U64(st.Count)
+	}
+}
+
+// DecodeSnapshot restores the profile in place.
+func (p *Profile) DecodeSnapshot(r *wire.Reader) error {
+	n := r.Len(1 << 26)
+	for i := 0; i < n; i++ {
+		pc := r.U64()
+		st := &PCStat{Cycles: r.U64(), Count: r.U64()}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		p.pcs[pc] = st
+	}
+	return r.Err()
+}

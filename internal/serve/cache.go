@@ -25,16 +25,30 @@ func ValidArtifactName(name string) bool {
 // directory persists entries across daemon restarts; the in-memory map
 // fronts it.
 type Cache struct {
-	mu  sync.Mutex
-	mem map[string]Artifacts
-	dir string // "" = memory only
+	mu    sync.Mutex
+	mem   map[string]Artifacts
+	dir   string                 // "" = memory only
+	loads map[string]*loadFlight // per-key in-flight disk loads
 
 	hits, misses uint64
+
+	// loadDelay, when non-nil, runs at the start of every disk load.
+	// Test seam: lets cache_test.go hold a load open and verify that
+	// disk I/O never blocks unrelated lookups (loads happen outside mu).
+	loadDelay func(key string)
+}
+
+// loadFlight is one in-flight disk load; done is closed when art/ok
+// are final.
+type loadFlight struct {
+	done chan struct{}
+	art  Artifacts
+	ok   bool
 }
 
 // NewCache builds a cache; dir == "" keeps it memory-only.
 func NewCache(dir string) (*Cache, error) {
-	c := &Cache{mem: make(map[string]Artifacts), dir: dir}
+	c := &Cache{mem: make(map[string]Artifacts), loads: make(map[string]*loadFlight), dir: dir}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("serve: cache dir: %w", err)
@@ -46,39 +60,69 @@ func NewCache(dir string) (*Cache, error) {
 // Get returns the artifact set stored under key, falling back to the
 // disk layer, and records the hit/miss.
 func (c *Cache) Get(key string) (Artifacts, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if art, ok := c.mem[key]; ok {
-		c.hits++
-		return art, true
-	}
-	if c.dir != "" {
-		if art, ok := c.load(key); ok {
-			c.mem[key] = art
-			c.hits++
-			return art, true
-		}
-	}
-	c.misses++
-	return nil, false
+	return c.lookup(key, true)
 }
 
 // Peek returns the artifact set stored under key without touching the
 // hit/miss accounting (artifact fetches are reads of an entry whose
 // hit was already counted at submission).
 func (c *Cache) Peek(key string) (Artifacts, bool) {
+	return c.lookup(key, false)
+}
+
+// lookup is the shared Get/Peek path. Disk reads run OUTSIDE the
+// cache mutex — a slow disk must never stall in-memory lookups of
+// other keys — with per-key single-flight so a thundering herd on one
+// cold key does one read, not one per caller.
+func (c *Cache) lookup(key string, count bool) (Artifacts, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if art, ok := c.mem[key]; ok {
+		if count {
+			c.hits++
+		}
+		c.mu.Unlock()
 		return art, true
 	}
-	if c.dir != "" {
-		if art, ok := c.load(key); ok {
-			c.mem[key] = art
-			return art, true
+	if c.dir == "" {
+		if count {
+			c.misses++
+		}
+		c.mu.Unlock()
+		return nil, false
+	}
+	f := c.loads[key]
+	if f == nil {
+		f = &loadFlight{done: make(chan struct{})}
+		c.loads[key] = f
+		c.mu.Unlock()
+		f.art, f.ok = c.load(key)
+		c.mu.Lock()
+		delete(c.loads, key)
+		if f.ok {
+			// A concurrent Put may have stored the entry while we read the
+			// disk; entries are immutable per key, so either copy is right —
+			// keep the first one in.
+			if cur, ok := c.mem[key]; ok {
+				f.art = cur
+			} else {
+				c.mem[key] = f.art
+			}
+		}
+		close(f.done)
+	} else {
+		c.mu.Unlock()
+		<-f.done
+		c.mu.Lock()
+	}
+	if count {
+		if f.ok {
+			c.hits++
+		} else {
+			c.misses++
 		}
 	}
-	return nil, false
+	c.mu.Unlock()
+	return f.art, f.ok
 }
 
 // Contains reports whether key is cached without counting a hit or a
@@ -136,8 +180,12 @@ func (c *Cache) Put(key string, art Artifacts) error {
 	return nil
 }
 
-// load reads a disk entry. Called with c.mu held.
+// load reads a disk entry. Called WITHOUT c.mu (disk entries are
+// immutable once renamed into place, so lock-free reads are safe).
 func (c *Cache) load(key string) (Artifacts, bool) {
+	if c.loadDelay != nil {
+		c.loadDelay(key)
+	}
 	entries, err := os.ReadDir(filepath.Join(c.dir, key))
 	if err != nil {
 		return nil, false

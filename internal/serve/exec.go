@@ -74,16 +74,25 @@ type traceSummary struct {
 // artifacts. It is context-aware end to end: cancellation aborts the
 // simulation at its next event horizon and no artifacts are produced.
 func Execute(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+	return ExecuteWarm(ctx, c, nil)
+}
+
+// ExecuteWarm is Execute with a snapshot warm pool: repeat requests
+// against the same workload/topology fork a cached post-prepare image
+// instead of building a machine from scratch. warm == nil runs cold;
+// results are bit-identical either way (the pool contract, difftested
+// in workloads/warm_test.go).
+func ExecuteWarm(ctx context.Context, c *Request, warm *workloads.WarmPool) (Artifacts, *Result, error) {
 	switch c.Kind {
 	case KindRun:
-		return executeRun(ctx, c)
+		return executeRun(ctx, c, warm)
 	case KindSweep:
-		return executeSweep(ctx, c)
+		return executeSweep(ctx, c, warm)
 	}
 	return nil, nil, fmt.Errorf("serve: unknown request kind %q", c.Kind)
 }
 
-func executeRun(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+func executeRun(ctx context.Context, c *Request, warm *workloads.WarmPool) (Artifacts, *Result, error) {
 	w, err := workloads.ByName(c.App)
 	if err != nil {
 		return nil, nil, err
@@ -96,7 +105,11 @@ func executeRun(ctx context.Context, c *Request) (Artifacts, *Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := workloads.RunCtx(ctx, w, c.mode(), cfg, size)
+	pr, err := warm.Prepare(w, c.mode(), cfg, size, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := pr.RunCtx(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -168,7 +181,7 @@ func countersTable(m *core.Machine) *report.Table {
 	return t
 }
 
-func executeSweep(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+func executeSweep(ctx context.Context, c *Request, warm *workloads.WarmPool) (Artifacts, *Result, error) {
 	size, err := ParseSize(c.Size)
 	if err != nil {
 		return nil, nil, err
@@ -179,6 +192,7 @@ func executeSweep(ctx context.Context, c *Request) (Artifacts, *Result, error) {
 		Apps:     c.Apps,
 		Parallel: c.Parallel,
 		Ctx:      ctx,
+		Warm:     warm,
 	}
 	if c.LegacyLoop || c.NoDataWindow {
 		legacy, nodw := c.LegacyLoop, c.NoDataWindow

@@ -135,8 +135,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // before the response was ready (nobody reads it, but logs do).
 const statusClientClosedRequest = 499
 
+// retryAfterSeconds converts the backpressure hint to whole seconds,
+// rounding UP — rounding to nearest would invite clients back before
+// the window has passed — and clamping to at least 1s, since
+// "Retry-After: 0" tells a client there is no backpressure at all.
 func retryAfterSeconds(d time.Duration) int {
-	secs := int(d.Round(time.Second) / time.Second)
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
@@ -196,11 +200,31 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: job %s has no artifact %q", j.ID, name))
 		return
 	}
+	// Content-addressed bytes never change: let clients cache forever,
+	// and honor conditional refetches with a body-less 304.
+	etag := `"` + j.Key + `-` + name + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", contentType(name))
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
-	// Content-addressed bytes never change: let clients cache forever.
-	w.Header().Set("ETag", `"`+j.Key+`-`+name+`"`)
 	w.Write(data)
+}
+
+// etagMatch implements the If-None-Match comparison (RFC 9110 §13.1.2):
+// a comma-separated list of entity tags, compared weakly (a W/ prefix
+// on either side is ignored), with "*" matching any representation.
+func etagMatch(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return cand != ""
+		}
+	}
+	return false
 }
 
 func contentType(name string) string {

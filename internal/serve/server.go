@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"misp/internal/obs"
+	"misp/internal/workloads"
 )
 
 // Admission-control sentinels. The HTTP layer maps ErrQueueFull to
@@ -133,6 +134,13 @@ type Server struct {
 	mCoalesced *obs.Counter
 	mWallMS    *obs.Histogram
 	exec       func(ctx context.Context, c *Request) (Artifacts, *Result, error)
+
+	// warm is the snapshot warm pool shared by every job this server
+	// executes: the first run against a given workload/topology prepares
+	// cold and snapshots; later jobs fork that image. The pool only
+	// holds post-prepare state (no results), so it composes with — not
+	// replaces — the result cache.
+	warm *workloads.WarmPool
 }
 
 // NewServer builds and starts a server: its workers are running and
@@ -151,7 +159,10 @@ func NewServer(cfg Config) (*Server, error) {
 		inflight: make(map[string]*Job),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		reg:      obs.NewRegistry(),
-		exec:     Execute,
+		warm:     workloads.NewWarmPool(),
+	}
+	s.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+		return ExecuteWarm(ctx, c, s.warm)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	s.mSubmitted = s.reg.Counter("serve.jobs.submitted")
@@ -470,6 +481,9 @@ func (s *Server) Metrics() string {
 		}
 	}
 	entries, hits, misses := s.cache.Stats()
+	warmHits, warmMisses := s.warm.Stats()
+	s.reg.Counter("serve.warm.forks").Set(warmHits)
+	s.reg.Counter("serve.warm.prepares").Set(warmMisses)
 	s.reg.Counter("serve.queue.depth").Set(uint64(queued))
 	s.reg.Counter("serve.queue.capacity").Set(uint64(cap(s.queue)))
 	s.reg.Counter("serve.jobs.inflight").Set(uint64(running))

@@ -1,0 +1,132 @@
+// Package snap is the deterministic snapshot/fork plane: a versioned
+// serialize/restore codec over the complete simulated system (machine +
+// kernel), with forking semantics for warm-start sweeps.
+//
+// A Snapshot holds the encoded byte image, not live state — that is the
+// copy-on-write story in its simplest honest form: the encoded page
+// images and kernel tables are the shared, immutable side; every Fork
+// decodes against the same buffer and materializes a private machine,
+// so fork cost scales with captured (resident) state, never with
+// configured memory, and no fork can alias another's mutable state.
+//
+// Capture requires a quiescent system: between Run calls, or stopped at
+// a SetPause boundary (core.ErrPaused). A faulted, halted, or
+// kernel-fatal system has no future to capture and is refused.
+//
+// Determinism contract (difftested in snapshot_test.go): restoring a
+// capture and running to completion produces bit-identical results —
+// counters, metrics, and obs event streams — to the uninterrupted run
+// under the same loop flavor; capturing the same state twice produces
+// identical bytes.
+package snap
+
+import (
+	"fmt"
+	"os"
+
+	"misp/internal/core"
+	"misp/internal/kernel"
+	"misp/internal/snap/wire"
+)
+
+// magic identifies a snapshot image; Version is the format version,
+// bumped on any codec layout change (there is no cross-version
+// migration — a snapshot is a cache artifact, not an archival format).
+const (
+	magic   = "MISPSNP1"
+	Version = 1
+)
+
+// Snapshot is an encoded machine+kernel image.
+type Snapshot struct {
+	buf []byte
+}
+
+// Capture serializes the complete system state. m and k must be the
+// attached pair (k.M == m) at a quiescent stop.
+func Capture(m *core.Machine, k *kernel.Kernel) (*Snapshot, error) {
+	if k.M != m {
+		return nil, fmt.Errorf("snap: kernel is not attached to this machine")
+	}
+	if err := k.Err(); err != nil {
+		return nil, fmt.Errorf("snap: cannot capture with a kernel fault latched: %w", err)
+	}
+	w := wire.NewWriter(1 << 20)
+	w.Raw([]byte(magic))
+	w.U32(Version)
+	if err := m.EncodeSnapshot(w); err != nil {
+		return nil, err
+	}
+	if err := k.EncodeSnapshot(w); err != nil {
+		return nil, err
+	}
+	return &Snapshot{buf: w.Bytes()}, nil
+}
+
+// Bytes returns the encoded image (shared, not copied; treat as
+// read-only).
+func (s *Snapshot) Bytes() []byte { return s.buf }
+
+// Size returns the encoded image size in bytes.
+func (s *Snapshot) Size() int { return len(s.buf) }
+
+// Load wraps an encoded image, validating the header.
+func Load(buf []byte) (*Snapshot, error) {
+	if len(buf) < len(magic)+4 || string(buf[:len(magic)]) != magic {
+		return nil, fmt.Errorf("snap: not a snapshot image")
+	}
+	s := &Snapshot{buf: buf}
+	r := wire.NewReader(buf[len(magic):])
+	if v := r.U32(); v != Version {
+		return nil, fmt.Errorf("snap: format version %d, this build reads %d", v, Version)
+	}
+	return s, nil
+}
+
+// Fork materializes a fresh machine+kernel pair from the image. Every
+// call returns an independent system; override, if non-nil, may adjust
+// run-only configuration (cost model, loop flavor, limits, fault plane)
+// — structural parameters are rejected by the core codec. The returned
+// kernel is already attached (SetOS); call Run on the machine to
+// continue from the captured point.
+func (s *Snapshot) Fork(override func(*core.Config)) (*core.Machine, *kernel.Kernel, error) {
+	r := wire.NewReader(s.buf)
+	var hdr [len(magic)]byte
+	if err := r.CopyInto(hdr[:]); err != nil || string(hdr[:]) != magic {
+		return nil, nil, fmt.Errorf("snap: not a snapshot image")
+	}
+	if v := r.U32(); v != Version {
+		return nil, nil, fmt.Errorf("snap: format version %d, this build reads %d", v, Version)
+	}
+	m, err := core.RestoreMachine(r, override)
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err := kernel.RestoreSnapshot(m, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n := r.Remaining(); n != 0 {
+		return nil, nil, fmt.Errorf("snap: %d trailing bytes after decode", n)
+	}
+	return m, k, nil
+}
+
+// SaveFile writes the image to path (atomic enough for crash-resume:
+// written to a temp name, then renamed).
+func (s *Snapshot) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, s.buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads and validates an image from path.
+func LoadFile(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Load(buf)
+}

@@ -1,0 +1,341 @@
+package snap_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"misp/internal/core"
+	"misp/internal/fault"
+	"misp/internal/shredlib"
+	"misp/internal/snap"
+	"misp/internal/snap/wire"
+	"misp/internal/workloads"
+)
+
+// The snapshot plane's contract, difftested here:
+//  1. capturing the same state twice yields identical bytes,
+//  2. a fork is bit-identical to a cold prepare with the same config,
+//  3. pause+resume ≡ uninterrupted (same loop flavor),
+//  4. mid-run capture → restore → run-to-completion ≡ uninterrupted,
+//     including counters, metrics, and the obs event stream, on both
+//     loops and under fault injection.
+
+func testCfg(t *testing.T, legacy bool) core.Config {
+	t.Helper()
+	cfg := workloads.DefaultConfig(core.Topology{3})
+	cfg.PhysMem = 64 << 20
+	cfg.MaxCycles = 8_000_000_000
+	cfg.LegacyLoop = legacy
+	cfg.TraceEvents = true
+	cfg.MaxTraceEvents = 1 << 12
+	return cfg
+}
+
+func prep(t *testing.T, cfg core.Config) *workloads.Prepared {
+	t.Helper()
+	w, err := workloads.ByName("gauss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := workloads.Prepare(w, shredlib.ModeShred, cfg, workloads.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// fingerprint summarizes everything a run is judged on: per-sequencer
+// clocks, PCs and counters, the retired-instruction total, the full
+// metrics registry, and the complete obs event stream.
+func fingerprint(t *testing.T, m *core.Machine) []byte {
+	t.Helper()
+	w := wire.NewWriter(1 << 16)
+	w.U64(m.Steps)
+	for _, s := range m.Seqs {
+		w.U64(s.Clock)
+		w.U64(s.PC)
+		w.U64(s.C.Instrs)
+		w.U64(s.C.Syscalls)
+		w.U64(s.C.PageFaults)
+		w.U64(s.C.Timers)
+		w.U64(s.C.Interrupts)
+		w.U64(s.C.ProxySyscalls)
+		w.U64(s.C.ProxyPageFaults)
+		w.U64(s.C.RingStall)
+		w.U64(s.C.ProxyStall)
+		w.U64(s.C.IdleCycles)
+		w.U64(s.C.SignalsSent)
+		w.U64(s.C.SignalsReceived)
+		w.U64(s.C.YieldsTaken)
+	}
+	m.Obs.Metrics.EncodeSnapshot(w)
+	m.Obs.Bus.EncodeSnapshot(w)
+	return w.Bytes()
+}
+
+func mustRun(t *testing.T, pr *workloads.Prepared) (*workloads.RunResult, []byte) {
+	t.Helper()
+	res, err := pr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, fingerprint(t, pr.Machine)
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	pr := prep(t, testCfg(t, false))
+	s1, err := snap.Capture(pr.Machine, pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := snap.Capture(pr.Machine, pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatalf("two captures of the same state differ (%d vs %d bytes)", s1.Size(), s2.Size())
+	}
+}
+
+func TestForkMatchesColdPrepare(t *testing.T) {
+	cfg := testCfg(t, false)
+	pr := prep(t, cfg)
+	s, err := snap.Capture(pr.Machine, pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture is read-only: the captured machine must still run clean.
+	coldRes, coldFP := mustRun(t, pr)
+
+	m, k, err := s.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpr, err := workloads.Resume(pr.W, pr.Mode, m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkRes, forkFP := mustRun(t, fpr)
+	if coldRes.Checksum != forkRes.Checksum || coldRes.Cycles != forkRes.Cycles {
+		t.Fatalf("fork result diverged: cold (%g, %d cy) vs fork (%g, %d cy)",
+			coldRes.Checksum, coldRes.Cycles, forkRes.Checksum, forkRes.Cycles)
+	}
+	if !bytes.Equal(coldFP, forkFP) {
+		t.Fatalf("fork fingerprint diverged from cold run")
+	}
+}
+
+// TestForkRunOnlyOverride forks one post-Prepare snapshot into a
+// different run-only configuration and checks the fork is bit-identical
+// to a cold prepare with that full configuration.
+func TestForkRunOnlyOverride(t *testing.T) {
+	base := testCfg(t, false)
+	pr := prep(t, base)
+	s, err := snap.Capture(pr.Machine, pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	over := base
+	over.LegacyLoop = true
+	over.TrapCost = 300
+	over.CtxSwitchCost = 5000
+
+	m, k, err := s.Fork(func(c *core.Config) { *c = over })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpr, err := workloads.Resume(pr.W, pr.Mode, m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkRes, forkFP := mustRun(t, fpr)
+
+	coldRes, coldFP := mustRun(t, prep(t, over))
+	if coldRes.Checksum != forkRes.Checksum || coldRes.Cycles != forkRes.Cycles {
+		t.Fatalf("override fork diverged: cold (%g, %d cy) vs fork (%g, %d cy)",
+			coldRes.Checksum, coldRes.Cycles, forkRes.Checksum, forkRes.Cycles)
+	}
+	if !bytes.Equal(coldFP, forkFP) {
+		t.Fatalf("override fork fingerprint diverged from cold run")
+	}
+}
+
+func TestStructuralOverrideRejected(t *testing.T) {
+	pr := prep(t, testCfg(t, false))
+	s, err := snap.Capture(pr.Machine, pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*core.Config){
+		"topology":      func(c *core.Config) { c.Topology = core.Topology{7} },
+		"physmem":       func(c *core.Config) { c.PhysMem *= 2 },
+		"timerinterval": func(c *core.Config) { c.TimerInterval *= 2 },
+		"signalcost":    func(c *core.Config) { c.SignalCost += 1 },
+		"traceevents":   func(c *core.Config) { c.TraceEvents = false },
+	} {
+		if _, _, err := s.Fork(mut); err == nil {
+			t.Errorf("fork with %s override unexpectedly succeeded", name)
+		}
+	}
+}
+
+// pauseMid runs pr until roughly the middle of the reference run and
+// returns the paused machine (checked to have actually paused).
+func pauseMid(t *testing.T, pr *workloads.Prepared, mid uint64) {
+	t.Helper()
+	pr.Machine.SetPause(mid)
+	err := pr.Machine.Run()
+	if !errors.Is(err, core.ErrPaused) {
+		t.Fatalf("expected ErrPaused at cycle %d, got %v", mid, err)
+	}
+	pr.Machine.SetPause(0)
+}
+
+func refRun(t *testing.T, cfg core.Config) (*workloads.RunResult, []byte) {
+	t.Helper()
+	return mustRun(t, prep(t, cfg))
+}
+
+func TestPauseResumeEquivalence(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		cfg := testCfg(t, legacy)
+		ref, refFP := refRun(t, cfg)
+
+		pr := prep(t, cfg)
+		// Pause twice at different points, then run to completion.
+		pauseMid(t, pr, ref.Cycles/3)
+		pauseMid(t, pr, 2*ref.Cycles/3)
+		res, fp := mustRun(t, pr)
+		if res.Checksum != ref.Checksum || res.Cycles != ref.Cycles {
+			t.Fatalf("legacy=%v: paused run diverged: (%g, %d cy) vs (%g, %d cy)",
+				legacy, res.Checksum, res.Cycles, ref.Checksum, ref.Cycles)
+		}
+		if !bytes.Equal(fp, refFP) {
+			t.Fatalf("legacy=%v: paused run fingerprint diverged", legacy)
+		}
+	}
+}
+
+func TestMidRunCaptureRestore(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		cfg := testCfg(t, legacy)
+		ref, refFP := refRun(t, cfg)
+
+		pr := prep(t, cfg)
+		pauseMid(t, pr, ref.Cycles/2)
+		s, err := snap.Capture(pr.Machine, pr.Kernel)
+		if err != nil {
+			t.Fatalf("legacy=%v: mid-run capture: %v", legacy, err)
+		}
+		// The paused original resumes to completion...
+		res, fp := mustRun(t, pr)
+		if !bytes.Equal(fp, refFP) || res.Checksum != ref.Checksum {
+			t.Fatalf("legacy=%v: resumed original diverged from uninterrupted run", legacy)
+		}
+		// ...and the restored copy must match it bit for bit.
+		m, k, err := s.Fork(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rpr, err := workloads.Resume(pr.W, pr.Mode, m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, rfp := mustRun(t, rpr)
+		if rres.Checksum != ref.Checksum || rres.Cycles != ref.Cycles {
+			t.Fatalf("legacy=%v: restored run diverged: (%g, %d cy) vs (%g, %d cy)",
+				legacy, rres.Checksum, rres.Cycles, ref.Checksum, ref.Cycles)
+		}
+		if !bytes.Equal(rfp, refFP) {
+			t.Fatalf("legacy=%v: restored run fingerprint diverged (events/metrics)", legacy)
+		}
+	}
+}
+
+// TestMidRunCaptureRestoreWithFaults exercises the fault-plan stream
+// restore: the injection schedule must continue from the captured
+// position, not restart.
+func TestMidRunCaptureRestoreWithFaults(t *testing.T) {
+	cfg := testCfg(t, false)
+	cfg.MaxCycles = 200_000_000
+	cfg.Fault = fault.Uniform(12345, 20_000, fault.SignalDelay, fault.TLBFlush)
+
+	finish := func(pr *workloads.Prepared) []byte {
+		// Under injection the run may legitimately end in a Diagnosis;
+		// equivalence is judged on the final machine state either way.
+		_, err := pr.Run()
+		var d *fault.Diagnosis
+		if err != nil && !errors.As(err, &d) {
+			t.Fatalf("run failed without a structured diagnosis: %v", err)
+		}
+		return fingerprint(t, pr.Machine)
+	}
+
+	refPr := prep(t, cfg)
+	refFP := finish(refPr)
+
+	pr := prep(t, cfg)
+	pauseMid(t, pr, refPr.Machine.MaxClock()/2)
+	s, err := snap.Capture(pr.Machine, pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(finish(pr), refFP) {
+		t.Fatalf("resumed faulted run diverged from uninterrupted run")
+	}
+	m, k, err := s.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpr, err := workloads.Resume(pr.W, pr.Mode, m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(finish(rpr), refFP) {
+		t.Fatalf("restored faulted run diverged from uninterrupted run")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	cfg := testCfg(t, false)
+	ref, refFP := refRun(t, cfg)
+
+	pr := prep(t, cfg)
+	pauseMid(t, pr, ref.Cycles/2)
+	s, err := snap.Capture(pr.Machine, pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mid.snap")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := snap.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, k, err := loaded.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpr, err := workloads.Resume(pr.W, pr.Mode, m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, fp := mustRun(t, rpr)
+	if res.Checksum != ref.Checksum || !bytes.Equal(fp, refFP) {
+		t.Fatalf("file round-trip run diverged from uninterrupted run")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := snap.Load([]byte("definitely not a snapshot")); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+	if _, err := snap.Load(nil); err == nil {
+		t.Fatal("Load accepted empty input")
+	}
+}

@@ -1,0 +1,208 @@
+// Package wire implements the snapshot plane's byte codec: a
+// fixed-width little-endian writer and an error-sticky reader.
+//
+// The format is deliberately primitive — no varints, no compression,
+// no reflection — because the snapshot plane's contract is byte
+// determinism: encoding the same machine state twice must produce the
+// same bytes, on every platform, forever within a format version.
+// Fixed-width fields and explicit field order are the cheapest way to
+// make that auditable. Anything with nondeterministic iteration order
+// (Go maps) must be sorted by the caller before encoding.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated reports a read past the end of the snapshot buffer.
+var ErrTruncated = errors.New("wire: truncated snapshot")
+
+// maxLen bounds any single length prefix (strings, byte blobs, counts)
+// to catch corrupt snapshots before they turn into huge allocations.
+const maxLen = 1 << 31
+
+// Writer accumulates the encoded snapshot.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter creates a Writer with some preallocated capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+func (w *Writer) U8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *Writer) I64(v int64)  { w.U64(uint64(v)) }
+
+// Int encodes a host int as a fixed 64-bit value.
+func (w *Writer) Int(v int) { w.U64(uint64(int64(v))) }
+
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 encodes the exact IEEE-754 bit pattern (NaN payloads included).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Raw appends bytes with no length prefix — for fixed-size images
+// (physical frames) whose length is implied by the format.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Bytes encodes a length-prefixed byte blob.
+func (w *Writer) Blob(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String encodes a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader decodes a snapshot buffer. The first failed read latches an
+// error; every subsequent read returns zero values, so decode code can
+// run straight-line and check Err once per section.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf for decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// fail latches err (first one wins) and returns false.
+func (r *Reader) fail(err error) bool {
+	if r.err == nil {
+		r.err = err
+	}
+	return false
+}
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if n < 0 || len(r.buf)-r.off < n {
+		return r.fail(fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.buf)))
+	}
+	return true
+}
+
+func (r *Reader) U8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int decodes a fixed 64-bit value back to a host int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// CopyInto fills dst with the next len(dst) raw bytes (the inverse of
+// Writer.Raw).
+func (r *Reader) CopyInto(dst []byte) error {
+	if !r.need(len(dst)) {
+		return r.err
+	}
+	copy(dst, r.buf[r.off:])
+	r.off += len(dst)
+	return nil
+}
+
+// Blob decodes a length-prefixed byte blob into a fresh slice.
+func (r *Reader) Blob() []byte {
+	n := r.U64()
+	if n > maxLen {
+		r.fail(fmt.Errorf("wire: blob length %d exceeds limit", n))
+		return nil
+	}
+	if !r.need(int(n)) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += int(n)
+	return out
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U64()
+	if n > maxLen {
+		r.fail(fmt.Errorf("wire: string length %d exceeds limit", n))
+		return ""
+	}
+	if !r.need(int(n)) {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Len decodes a count prefix and validates it against a sanity bound.
+// Returns -1 (with the error latched) when the count is implausible, so
+// callers can range over the result without separately re-checking.
+func (r *Reader) Len(limit int) int {
+	n := r.U64()
+	if r.err != nil {
+		return -1
+	}
+	if limit <= 0 || limit > maxLen {
+		limit = maxLen
+	}
+	if n > uint64(limit) {
+		r.fail(fmt.Errorf("wire: count %d exceeds limit %d", n, limit))
+		return -1
+	}
+	return int(n)
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.U8(0xAB)
+	w.U32(0xDEADBEEF)
+	w.U64(^uint64(0))
+	w.I64(-42)
+	w.Int(-7)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(math.Pi)
+	w.F64(math.Float64frombits(0x7FF8_0000_0000_0001)) // NaN payload
+	w.Raw([]byte{1, 2, 3})
+	w.Blob([]byte("blob"))
+	w.Blob(nil)
+	w.String("héllo")
+
+	r := NewReader(w.Bytes())
+	if v := r.U8(); v != 0xAB {
+		t.Fatalf("U8 = %#x", v)
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", v)
+	}
+	if v := r.U64(); v != ^uint64(0) {
+		t.Fatalf("U64 = %#x", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := r.Int(); v != -7 {
+		t.Fatalf("Int = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round-trip")
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v", v)
+	}
+	if bits := math.Float64bits(r.F64()); bits != 0x7FF8_0000_0000_0001 {
+		t.Fatalf("NaN payload not preserved: %#x", bits)
+	}
+	var raw [3]byte
+	if err := r.CopyInto(raw[:]); err != nil || raw != [3]byte{1, 2, 3} {
+		t.Fatalf("CopyInto = %v, %v", raw, err)
+	}
+	if v := r.Blob(); string(v) != "blob" {
+		t.Fatalf("Blob = %q", v)
+	}
+	if v := r.Blob(); len(v) != 0 {
+		t.Fatalf("empty Blob = %q", v)
+	}
+	if v := r.String(); v != "héllo" {
+		t.Fatalf("String = %q", v)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	w := NewWriter(0)
+	w.U64(7)
+	r := NewReader(w.Bytes()[:4])
+	if v := r.U64(); v != 0 {
+		t.Fatalf("truncated U64 = %d, want 0", v)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", r.Err())
+	}
+	// Error is sticky: later reads keep returning zero values.
+	if v := r.U32(); v != 0 {
+		t.Fatalf("read after error = %d", v)
+	}
+}
+
+func TestLenLimit(t *testing.T) {
+	w := NewWriter(0)
+	w.U64(1000)
+	r := NewReader(w.Bytes())
+	if n := r.Len(10); n != -1 {
+		t.Fatalf("Len over limit = %d, want -1", n)
+	}
+	if r.Err() == nil {
+		t.Fatal("Len over limit latched no error")
+	}
+
+	r = NewReader(w.Bytes())
+	if n := r.Len(2000); n != 1000 {
+		t.Fatalf("Len = %d, want 1000", n)
+	}
+}
+
+func TestBlobLengthBomb(t *testing.T) {
+	w := NewWriter(0)
+	w.U64(1 << 40) // claims a petabyte-scale blob
+	r := NewReader(w.Bytes())
+	if v := r.Blob(); v != nil {
+		t.Fatalf("bomb blob = %d bytes", len(v))
+	}
+	if r.Err() == nil {
+		t.Fatal("bomb blob latched no error")
+	}
+}
