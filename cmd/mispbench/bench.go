@@ -44,8 +44,14 @@ type benchResult struct {
 	NoDWWallSeconds  float64 `json:"nodw_wall_seconds"`
 	NoDWInstrsPerSec float64 `json:"nodw_instrs_per_sec"`
 
+	// Fast path without superblock compilation (Config.NoSuperblock):
+	// isolates the compiled micro-op path's contribution.
+	NoSBWallSeconds  float64 `json:"nosb_wall_seconds"`
+	NoSBInstrsPerSec float64 `json:"nosb_instrs_per_sec"`
+
 	Speedup   float64 `json:"speedup"`    // fast vs legacy loop
 	DWSpeedup float64 `json:"dw_speedup"` // fast vs fast-without-data-window
+	SBSpeedup float64 `json:"sb_speedup"` // fast vs fast-without-superblocks
 
 	// Host-parallel sweep prong: the same mini-evaluation (benchApps x
 	// {1P, MISP, SMP}) run serially and with all host cores, difftested
@@ -195,6 +201,7 @@ func runBench(size workloads.Size, seqs, parallel int, jsonPath, baselinePath st
 	}{
 		{"legacy", func(c *core.Config) { c.LegacyLoop = true }},
 		{"fast-nodw", func(c *core.Config) { c.NoDataWindow = true }},
+		{"fast-nosb", func(c *core.Config) { c.NoSuperblock = true }},
 		{"fast", func(c *core.Config) {}},
 	}
 	fmt.Printf("bench: %v at size %s on %d sequencers, best of %d...\n",
@@ -220,7 +227,7 @@ func runBench(size workloads.Size, seqs, parallel int, jsonPath, baselinePath st
 		}
 		ms[i] = m
 	}
-	legacy, nodw, fast := ms[0], ms[1], ms[2]
+	legacy, nodw, nosb, fast := ms[0], ms[1], ms[2], ms[3]
 
 	res := benchResult{
 		Size:      size.String(),
@@ -241,11 +248,15 @@ func runBench(size workloads.Size, seqs, parallel int, jsonPath, baselinePath st
 		NoDWWallSeconds:  nodw.wall.Seconds(),
 		NoDWInstrsPerSec: float64(nodw.instrs) / nodw.wall.Seconds(),
 
+		NoSBWallSeconds:  nosb.wall.Seconds(),
+		NoSBInstrsPerSec: float64(nosb.instrs) / nosb.wall.Seconds(),
+
 		Speedup:   legacy.wall.Seconds() / fast.wall.Seconds(),
 		DWSpeedup: nodw.wall.Seconds() / fast.wall.Seconds(),
+		SBSpeedup: nosb.wall.Seconds() / fast.wall.Seconds(),
 	}
-	fmt.Printf("bench: speedup %.2fx vs legacy, %.2fx from data window (allocs %d -> %d)\n",
-		res.Speedup, res.DWSpeedup, legacy.allocs, fast.allocs)
+	fmt.Printf("bench: speedup %.2fx vs legacy, %.2fx from data window, %.2fx from superblocks (allocs %d -> %d)\n",
+		res.Speedup, res.DWSpeedup, res.SBSpeedup, legacy.allocs, fast.allocs)
 
 	if err := benchSweep(size, seqs, parallel, &res); err != nil {
 		return err
@@ -278,7 +289,8 @@ func runBench(size workloads.Size, seqs, parallel int, jsonPath, baselinePath st
 //     promises bit-identical execution, so any drift is a correctness
 //     regression, not noise.
 //   - Host-relative ratios (fast-vs-legacy speedup, data-window
-//     speedup) must not drop more than 20% below the baseline. They
+//     speedup, superblock speedup) must not drop more than 20% below
+//     the baseline. They
 //     compare two runs on the same host, so they transfer across
 //     machines; absolute instrs/sec does not and is not gated.
 //   - Sweep wall times and speedups depend on the host's core count and
@@ -314,6 +326,7 @@ func checkBaseline(res *benchResult, path string) error {
 	}{
 		{"speedup (fast vs legacy)", res.Speedup, base.Speedup},
 		{"dw_speedup (data window)", res.DWSpeedup, base.DWSpeedup},
+		{"sb_speedup (superblocks)", res.SBSpeedup, base.SBSpeedup},
 	}
 	for _, g := range gates {
 		if g.want == 0 {

@@ -50,6 +50,8 @@ func main() {
 	jsonPath := flag.String("json", "", "bench: write measurements to this JSON file (default BENCH_core.json)")
 	baseline := flag.String("baseline", "", "bench: compare against this committed baseline JSON and fail on regression")
 	cold := flag.Bool("cold", false, "disable the snapshot warm-start pool (prepare every machine from scratch); results are identical either way")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -69,6 +71,16 @@ func main() {
 	// A second signal hard-exits.
 	ctx, stop := cli.SignalContext("mispbench")
 	defer stop()
+
+	// Profiles flush on the normal return and on every fatal() path —
+	// including the first Ctrl-C, which cancels the run and unwinds
+	// through fatal — so interrupted profiles are still loadable.
+	stopProf, err := cli.Profiles("mispbench", *cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stopProf
+	defer stopProf()
 
 	var stats sweep.Stats
 	opt := exp.Options{Size: size, Seqs: *seqs, Parallel: *parallel, SweepStats: &stats, Ctx: ctx}
@@ -239,7 +251,12 @@ func parseSize(s string) (workloads.Size, error) {
 // worse than none, because it looks complete.
 var csvWritten []string
 
+// stopProfiles flushes any active -cpuprofile/-memprofile output; set
+// in main, called on the fatal paths that bypass its defer.
+var stopProfiles = func() {}
+
 func fatal(err error) {
+	stopProfiles()
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		for _, p := range csvWritten {
 			if os.Remove(p) == nil {

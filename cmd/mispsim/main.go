@@ -57,6 +57,8 @@ func main() {
 	snapPath := flag.String("snapshot", "", "pause at -snapat, write a snapshot to this file, and exit")
 	snapAt := flag.Uint64("snapat", 0, "cycle past which -snapshot captures (the run pauses at the first quiescent point beyond it)")
 	restorePath := flag.String("restore", "", "resume from a snapshot file instead of starting fresh (config flags are ignored; the snapshot's configuration applies)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -99,6 +101,16 @@ func main() {
 	// a second one hard-exits.
 	ctx, stop := cli.SignalContext("mispsim")
 	defer stop()
+
+	// Profiles flush on the normal return and on every fatal() path —
+	// including the first Ctrl-C, which cancels the run and unwinds
+	// through fatal — so interrupted profiles are still loadable.
+	stopProf, err := cli.Profiles("mispsim", *cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stopProf
+	defer stopProf()
 
 	if *runFile != "" && (*snapPath != "" || *restorePath != "") {
 		fatal(fmt.Errorf("-snapshot/-restore work on workload runs, not -run programs"))
@@ -219,6 +231,10 @@ func finish(m *core.Machine, traceOut string, metrics bool) {
 	if metrics {
 		fmt.Println("\nmetrics registry:")
 		fmt.Print(m.Obs.Metrics.String())
+		if len(m.Obs.Metrics.HostNames()) > 0 {
+			fmt.Println("\nhost section:")
+			m.Obs.Metrics.WriteHostTo(os.Stdout)
+		}
 	}
 	rep := m.Report()
 	if rep.TraceEnabled {
@@ -314,7 +330,12 @@ func parseSize(s string) (workloads.Size, error) {
 	return 0, fmt.Errorf("unknown size %q", s)
 }
 
+// stopProfiles flushes any active -cpuprofile/-memprofile output; set
+// in main, called on the fatal paths that bypass its defer.
+var stopProfiles = func() {}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "mispsim:", err)
 	if errors.Is(err, context.Canceled) {
 		os.Exit(130)

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Profiles starts the standard pprof outputs shared by the misp tools:
+// a CPU profile streaming to cpuPath and a heap profile written to
+// memPath at stop. An empty path disables that profile and costs
+// nothing. The returned stop is idempotent and must run on every exit
+// path — the normal return, fatal(), and the signal-canceled path —
+// so an interrupted run still leaves valid, loadable profile files.
+func Profiles(name, cpuPath, memPath string) (func(), error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", name, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", name, err)
+		}
+		cpuF = f
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				if err := cpuF.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -cpuprofile: %v\n", name, err)
+				}
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", name, err)
+					return
+				}
+				runtime.GC() // materialize final live-heap statistics
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", name, err)
+				}
+				f.Close()
+			}
+		})
+	}
+	return stop, nil
+}

@@ -140,6 +140,11 @@ type Config struct {
 	// fast loop (an ablation knob for the bench harness; the legacy loop
 	// never uses the window). Results are bit-identical either way.
 	NoDataWindow bool
+	// NoSuperblock disables superblock micro-op compilation on the fast
+	// loop (the oracle knob for the loop-equivalence difftests, mirroring
+	// NoDataWindow; the legacy loop never compiles). Results are
+	// bit-identical either way.
+	NoSuperblock bool
 
 	// Fault configures the deterministic fault-injection plane. Held by
 	// value so every machine built from a copied Config constructs its

@@ -37,8 +37,11 @@ func runLoop(t *testing.T, cfg Config, src string, legacy bool) (*BareOS, *Machi
 }
 
 // checkEquiv runs src under the legacy loop (the oracle), the fast
-// path, and the fast path with the data window cache disabled, and
-// demands bit-identical machine-visible outcomes from all three.
+// path, and the fast path with each host-side cache disabled (data
+// window, superblock compilation, and both), and demands bit-identical
+// machine-visible outcomes from all of them. The NoSuperblock variants
+// double as the compiled path's oracle: with compilation off, the fast
+// loop retires every instruction through the interpreter.
 func checkEquiv(t *testing.T, cfg Config, src string) {
 	t.Helper()
 	bL, mL := runLoop(t, cfg, src, true)
@@ -48,6 +51,8 @@ func checkEquiv(t *testing.T, cfg Config, src string) {
 	}{
 		{"fast", func(c *Config) {}},
 		{"fast-nodw", func(c *Config) { c.NoDataWindow = true }},
+		{"fast-nosb", func(c *Config) { c.NoSuperblock = true }},
+		{"fast-nodw-nosb", func(c *Config) { c.NoDataWindow = true; c.NoSuperblock = true }},
 	}
 	for _, v := range variants {
 		c := cfg

@@ -100,6 +100,18 @@ type Machine struct {
 	// dwOn enables the per-sequencer data window cache (fast loop only;
 	// see memaccess.go). Derived from Cfg in New.
 	dwOn bool
+	// sbOn enables superblock micro-op compilation (fast loop only; see
+	// superblock.go). Derived from Cfg in New and on restore. sbCache
+	// holds the compiled pages, keyed by physical page base; it is
+	// host-side derived state — never snapshotted, rebuilt on demand.
+	sbOn    bool
+	sbCache map[uint64]*sbPage
+	// Superblock host-side statistics (published to the obs host-metric
+	// section by FinalizeMetrics; deliberately outside the canonical
+	// registry dump so artifacts stay byte-identical across loop knobs).
+	sbBuilds, sbInvalidates, sbRuns uint64
+	sbACommits, sbAEnters           uint64    // TEMP debug
+	sbAExit                         [8]uint64 // TEMP debug: exit reasons
 
 	// mx holds pre-resolved metric handles so hot paths pay a plain
 	// increment, never a registry lookup.
@@ -185,6 +197,7 @@ func New(cfg Config) (*Machine, error) {
 	m := &Machine{Cfg: cfg, Phys: phys, Obs: o, Trace: &Trace{bus: o.Bus}, prof: o.Prof}
 	m.mx = newMachMetrics(o.Metrics)
 	m.dwOn = !cfg.LegacyLoop && !cfg.NoDataWindow
+	m.sbOn = !cfg.LegacyLoop && !cfg.NoSuperblock
 	m.initFaultPlane()
 	gid := 0
 	for pid, nAMS := range cfg.Topology {
@@ -392,11 +405,14 @@ func (m *Machine) runFast() error {
 			}
 			continue
 		}
-		if hT == s.Clock && m.evq.scan {
+		if m.evq.scan && (hT == s.Clock || (m.sbOn && m.prof == nil && m.flt == nil)) {
 			// Lockstep regime: at least two sequencers share the minimum
 			// event time, so selection degenerates to a rotation. Run the
 			// whole tied cohort on one scan instead of re-scanning per batch.
-			if err := m.runRound(s, hT, batch); err != nil {
+			// With compiled pages and no per-retirement hooks the cohort
+			// handler also absorbs desynced sequencers (runCohortWave
+			// re-ties them internally), so it takes every scan-mode turn.
+			if err := m.runRound(s, s.Clock, batch); err != nil {
 				return err
 			}
 			continue
@@ -417,37 +433,153 @@ func (m *Machine) runFast() error {
 // until its clock strictly passes T; since every retired instruction
 // costs at least one cycle, a clean batch always exits past T, so the
 // remaining tied members still hold the machine-wide minimum when their
-// turn comes. Any batch with a cross-sequencer effect (fault, delivery,
-// break op — reported by runBatch's clean flag — or a kernel entry
-// flagging evqDirty) aborts the round so selection restarts from a
-// fresh scan.
+// turn comes.
+//
+// While every batch stays clean, nothing in the machine except the
+// members' own clocks can change: a clean batch retires only plain
+// non-breaking instructions, so every other sequencer's cached key, the
+// members' delivery inputs (timer deadlines, pending signal and proxy
+// queues, handler/yield state), and the members' running states are all
+// frozen. runRound exploits this to run the lockstep regime for many
+// rounds per selection: it snapshots the cohort, each member's delivery
+// threshold, and the earliest outside event once, then keeps re-running
+// rounds as long as the members re-tie at a common clock that still
+// precedes the frozen outside event. Data-parallel shreds executing the
+// same code stay tied for thousands of rounds, so the per-instruction
+// cost of selection, delivery-time recomputation, and the runBatch
+// preamble amortizes away. Any batch with a cross-sequencer effect
+// (fault, delivery, break op — reported by runBatch's clean flag — or a
+// kernel entry flagging evqDirty) aborts the round so selection
+// restarts from a fresh scan.
 func (m *Machine) runRound(s *Sequencer, T uint64, batch int) error {
 	h := &m.evq
-	for i := int(h.pos[s.ID]); i < len(h.ent); i++ {
-		e := &h.ent[i]
-		if e.key != T {
+	// Snapshot the tied cohort (scan mode keeps ent in sequencer-ID
+	// order with frozen positions) and the earliest event outside it.
+	// Entries before s hold keys strictly past T — s is the minimum with
+	// the lowest ID on ties — and a tied non-running member ends the
+	// cohort at its position: it needs the selection loop's wake path,
+	// and members past it must not run ahead of it (legacy visits the
+	// tie in ID order).
+	// With compiled pages and no per-retirement hooks, the cohort takes
+	// every running sequencer regardless of clock — runCohortWave
+	// orders them by (clock, ID) internally — so only wake events and
+	// kernel activity remain outside.
+	sbAll := m.sbOn && m.prof == nil && m.flt == nil
+	var mems [scanThreshold]*Sequencer
+	var evts [scanThreshold]uint64
+	nm := 0
+	outT, outID := noEvent, math.MaxInt
+	cut := len(h.ent)
+	start := int(h.pos[s.ID])
+	for i, e := range h.ent {
+		if i >= start && i < cut && e.key == T {
+			if e.s.State != StateRunning {
+				// Tied but not running: everything at or past it leaves
+				// the cohort; it becomes the nearest outside event.
+				cut = i
+				if T < outT {
+					outT, outID = T, e.s.ID
+				}
+				continue
+			}
+			mems[nm] = e.s
+			evts[nm] = m.nextDeliveryTime(e.s)
+			nm++
 			continue
 		}
-		if e.s.State != StateRunning {
-			// An idle/parked member needs its wake path; hand back to the
-			// selection loop (the advanced members sit past T, so this
-			// member is now the minimum).
-			return nil
+		if sbAll && e.s.State == StateRunning {
+			// Ahead of the minimum (or past a tied non-running entry,
+			// which the horizon orders first): joins the cohort; the
+			// fused path runs it only strictly below the outside
+			// horizon, and the turn loop's ID tiebreaks match the
+			// selection loop's.
+			mems[nm] = e.s
+			evts[nm] = m.nextDeliveryTime(e.s)
+			nm++
+			continue
 		}
-		clean, err := m.runBatch(e.s, T, math.MaxInt, batch)
+		if e.key < outT { // ID order: strict < keeps the lowest ID on ties
+			outT, outID = e.key, e.s.ID
+		}
+	}
+	// Member clocks live in a contiguous local array so the per-turn
+	// mini-selection scans one cache line instead of chasing eight
+	// Sequencer pointers; only the member that ran can change, so a
+	// single writeback per turn keeps it coherent.
+	var clocks [scanThreshold]uint64
+	for i := 0; i < nm; i++ {
+		clocks[i] = mems[i].Clock
+	}
+	// With compiled pages and no per-retirement hooks, any tie at the
+	// cohort minimum runs on the fused round path (runCohortWave):
+	// one micro-op per tied member per round in ID order, with
+	// selection reduced to a tie re-check. The turn loop below is the
+	// general path for lone minima and anything the fused path hands
+	// back.
+	sbFast := sbAll && nm > 1
+	for nm > 0 {
+		// Mini-selection over the frozen cohort: the earliest member by
+		// (clock, ID) runs up to the horizon — the second-earliest event
+		// among the members and the frozen outside minimum. mems is in
+		// ID order, so strict < keeps the lowest ID on clock ties,
+		// reproducing the selection loop's total order.
+		best, second := 0, -1
+		bc := clocks[0]
+		sc := noEvent
+		for i := 1; i < nm; i++ {
+			ci := clocks[i]
+			switch {
+			case ci < bc:
+				second, sc = best, bc
+				best, bc = i, ci
+			case second < 0 || ci < sc:
+				second, sc = i, ci
+			}
+		}
+		c := mems[best]
+		if bc > outT || (bc == outT && outID < c.ID) {
+			break // the frozen outside event precedes every member
+		}
+		if sbFast {
+			prog, unclean := m.runCohortWave(&mems, &evts, &clocks, nm, outT, outID)
+			if unclean {
+				if m.evqDirty {
+					return nil
+				}
+				break
+			}
+			if prog {
+				continue // rescan with the advanced clocks
+			}
+			// No commit was possible on the fused path (the minimum
+			// member is blocked); resolve it with a general turn below —
+			// best/second are still valid since nothing moved.
+		}
+		hT, hID := outT, outID
+		if second >= 0 && (sc < hT || (sc == hT && mems[second].ID < hID)) {
+			hT, hID = sc, mems[second].ID
+		}
+		clean, err := m.runBatchEv(c, hT, hID, batch, evts[best])
 		if err != nil {
 			return err
 		}
 		if m.evqDirty {
+			// A kernel entry forces a full rebuild; stale keys are
+			// recomputed there.
 			return nil
 		}
 		if !clean {
-			h.update(e.s)
-			return nil
+			break
 		}
-		// A clean batch leaves the member running (state changes ride on
-		// faults, break ops, or deliveries), so its key is just its clock.
-		e.key = e.s.Clock
+		clocks[best] = c.Clock
+		if m.ctxDone != nil && m.canceled() {
+			break // surface the cancel at the selection loop
+		}
+	}
+	// Write the members' keys back (h.update re-derives non-running
+	// states; a clean member's key is just its clock).
+	for i := 0; i < nm; i++ {
+		h.update(mems[i])
 	}
 	return nil
 }
@@ -466,6 +598,23 @@ func (m *Machine) runRound(s *Sequencer, T uint64, batch int) error {
 // non-breaking one. runRound relies on this to keep a tied cohort
 // running without re-selection.
 func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean bool, err error) {
+	// evT is the earliest time an event (timer, proxy request, ingress
+	// signal) becomes deliverable to s. Every input feeding it is written
+	// only by other sequencers, by the kernel, or by batch-breaking
+	// instructions — none of which can run mid-batch — so it is a batch
+	// constant: one comparison per instruction replaces the legacy loop's
+	// three delivery probes. The same invariance covers stopErr, halted,
+	// os.Done(), and s.State: each changes only on a path that already
+	// ends the batch (a fault, a break op, or a kernel entry). The same
+	// reasoning makes it a round constant for runRound, which caches it
+	// across clean batches and calls runBatchEv directly.
+	return m.runBatchEv(s, hT, hID, max, m.nextDeliveryTime(s))
+}
+
+// runBatchEv is runBatch with the delivery threshold supplied by the
+// caller (nextDeliveryTime is pure, so computing it before the limit
+// checks is equivalent).
+func (m *Machine) runBatchEv(s *Sequencer, hT uint64, hID int, max int, evT uint64) (clean bool, err error) {
 	if s.Clock > m.pauseLimit {
 		return false, ErrPaused
 	}
@@ -475,15 +624,6 @@ func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean boo
 	if s.State != StateRunning {
 		return false, nil
 	}
-	// evT is the earliest time an event (timer, proxy request, ingress
-	// signal) becomes deliverable to s. Every input feeding it is written
-	// only by other sequencers, by the kernel, or by batch-breaking
-	// instructions — none of which can run mid-batch — so it is a batch
-	// constant: one comparison per instruction replaces the legacy loop's
-	// three delivery probes. The same invariance covers stopErr, halted,
-	// os.Done(), and s.State: each changes only on a path that already
-	// ends the batch (a fault, a break op, or a kernel entry).
-	evT := m.nextDeliveryTime(s)
 	if s.Clock >= evT {
 		// An event is due now; deliver in the legacy loop's order.
 		if s.IsOMS && s.TimerDeadline != 0 && s.Clock >= s.TimerDeadline {
@@ -503,6 +643,11 @@ func (m *Machine) runBatch(s *Sequencer, hT uint64, hID int, max int) (clean boo
 		}
 		// Unreachable: each evT component mirrors its delivery's guard.
 		return false, nil
+	}
+	if m.sbOn {
+		// Superblock execution: same horizon/delivery/limit semantics,
+		// compiled micro-op pages on the hot path (see superblock.go).
+		return m.runBatchSB(s, hT, hID, max, evT)
 	}
 	limit := m.cycLimit
 	if m.pauseLimit < limit {
@@ -604,6 +749,12 @@ func (m *Machine) FinalizeMetrics() {
 	reg.Counter(obs.MCyclesProxyStall).Set(proxyStall)
 	reg.Counter(obs.MCyclesUser).Set(user)
 	reg.Counter(obs.MInstrs).Set(instrs)
+	// Host section: superblock cache activity. Host metrics stay out of
+	// dumps and snapshots, so publishing them cannot perturb identity
+	// comparisons between compiled and oracle runs.
+	reg.Counter(obs.MSBBuilds).Set(m.sbBuilds)
+	reg.Counter(obs.MSBInvalidates).Set(m.sbInvalidates)
+	reg.Counter(obs.MSBRuns).Set(m.sbRuns)
 }
 
 // RunReport summarizes a finished run for end-of-run reporting,

@@ -322,6 +322,9 @@ func (m *Machine) fetchSlow(s *Sequencer) (isa.Instr, *trapFault) {
 	}
 	s.winVA = pc &^ uint64(mem.PageMask)
 	s.winGen = m.Phys.GenPtr(base)
+	if m.sbOn {
+		s.sb = m.sbEnsure(base)
+	}
 	return s.decPage[idx], nil
 }
 

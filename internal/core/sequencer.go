@@ -141,6 +141,13 @@ type Sequencer struct {
 	winVA  uint64
 	winGen *uint32
 
+	// sb is the compiled superblock view of the cached code page
+	// (superblock.go) — host-side derived state, never serialized.
+	// Validity is re-checked on every entry (sb.gen == decGen plus the
+	// fetch-window check above), so flushTranslation need not clear it:
+	// a stale pointer can never execute.
+	sb *sbPage
+
 	// Data window cache (fast loop only): a small direct-mapped cache of
 	// recently translated data pages, validated against the TLB with one
 	// generation compare (see memaccess.go). dwGen snapshots TLB.Gen at

@@ -17,9 +17,10 @@ import (
 // Table 1), fault-plan stream positions, and the obs subsystem.
 //
 // Deliberately NOT captured (host-side, rebuilt on restore):
-//   - the decoded-instruction cache, fetch window, and data window
-//     (pure caches; refilling them changes no counter — the data window
-//     mirrors TLB hit accounting exactly),
+//   - the decoded-instruction cache, fetch window, data window, and
+//     compiled superblock pages (pure caches; refilling them changes no
+//     counter — the data window mirrors TLB hit accounting exactly, and
+//     superblocks are recompiled on first fetch),
 //   - the event heap (evq.init + evqDirty rebuild it),
 //   - per-frame store generations (only consumed by the caches above),
 //   - pause/cancel plumbing and Wall (host-side run control),
@@ -54,6 +55,7 @@ func EncodeConfig(w *wire.Writer, c Config) {
 	w.Int(c.BatchInstrs)
 	w.Bool(c.LegacyLoop)
 	w.Bool(c.NoDataWindow)
+	w.Bool(c.NoSuperblock)
 	fault.EncodeConfig(w, c.Fault)
 	w.U64(c.WatchdogHorizon)
 }
@@ -91,6 +93,7 @@ func DecodeConfig(r *wire.Reader) (Config, error) {
 	c.BatchInstrs = r.Int()
 	c.LegacyLoop = r.Bool()
 	c.NoDataWindow = r.Bool()
+	c.NoSuperblock = r.Bool()
 	fc, err := fault.DecodeConfig(r)
 	if err != nil {
 		return c, err
@@ -375,6 +378,7 @@ func RestoreMachine(r *wire.Reader, override func(*Config)) (*Machine, error) {
 	m := &Machine{Cfg: cfg, Phys: phys, Obs: o, Trace: &Trace{bus: o.Bus}, prof: o.Prof}
 	m.mx = newMachMetrics(o.Metrics)
 	m.dwOn = !cfg.LegacyLoop && !cfg.NoDataWindow
+	m.sbOn = !cfg.LegacyLoop && !cfg.NoSuperblock
 
 	nSeq := r.Len(1 << 16)
 	if nSeq < 0 {

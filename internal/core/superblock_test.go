@@ -1,0 +1,282 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"misp/internal/asm"
+	"misp/internal/isa"
+	"misp/internal/snap/wire"
+)
+
+// Superblock invalidation difftests: compiled pages are host-derived
+// state keyed on the decode cache's store generation, so every way a
+// page can change out from under the compiled path — self-modifying
+// code, a peer sequencer's store, TLB/CR3 maintenance, snapshot
+// restore — must put execution back through fetch/recompile without
+// any machine-visible difference from the NoSuperblock oracle and the
+// legacy loop. checkEquiv (loopequiv_test.go) runs all of those
+// variants and demands bit-identical clocks, counters, and event
+// streams.
+
+// TestSuperblockSelfModifyingCode copies a routine into the writable
+// heap (text is W^X in bare mode; jumps are PC-relative so the copy
+// runs in place), jumps to it, and has the routine patch an
+// instruction *ahead of its own PC in the page it is executing*: the
+// store lands mid-block, and the patched instruction must be the one
+// that retires.
+func TestSuperblockSelfModifyingCode(t *testing.T) {
+	const src = `
+main:
+    la  r2, template
+    la  r8, tend
+    li  r3, 0x08000000
+copy:
+    ldd r4, [r2]
+    std r4, [r3]
+    addi r2, r2, 8
+    addi r3, r3, 8
+    bne r2, r8, copy
+    la  r6, patch
+    ldd r7, [r6]
+    la  r6, t3
+    la  r2, template
+    sub r6, r6, r2
+    li  r5, 0x08000000
+    add r6, r6, r5
+    jr  r5
+template:
+    std r7, [r6]
+    li  r9, 0
+    li  r9, 1
+t3: li  r1, 11
+    li  r0, 1
+    syscall
+tend:
+patch:
+    li  r1, 77
+`
+	b, _ := run(t, testCfg(0), asm.MustAssemble(src))
+	if b.ExitCode != 77 {
+		t.Fatalf("exit = %d, want 77 (stale compiled page served the pre-patch instruction?)", b.ExitCode)
+	}
+	checkEquiv(t, testCfg(0), src)
+}
+
+// TestSuperblockCrossSequencerStore patches the spin loop a *peer*
+// sequencer is executing: the shred spins in a compiled
+// one-instruction superblock (the copied self-jump in the heap) when
+// the OMS overwrites that very word. The shred's next commit must see
+// the patch.
+func TestSuperblockCrossSequencerStore(t *testing.T) {
+	const src = `
+main:
+    la  r1, proxy_handler
+    setyield r1, 0
+    la  r2, stpl
+    la  r8, stend
+    li  r3, 0x08000000
+copy:
+    ldd r4, [r2]
+    std r4, [r3]
+    addi r2, r2, 8
+    addi r3, r3, 8
+    bne r2, r8, copy
+    li  r1, 1
+    li  r2, 0x08000000
+    li  r3, 0x70020000
+    signal r1, r2, r3
+    li  r10, 200
+delay:
+    addi r10, r10, -1
+    li  r9, 0
+    bne r10, r9, delay
+    la  r6, patch
+    ldd r4, [r6]
+    la  r6, s1
+    la  r2, stpl
+    sub r6, r6, r2
+    li  r5, 0x08000000
+    add r6, r6, r5
+    std r4, [r6]
+    la  r4, done
+wait:
+    ldd r5, [r4]
+    li  r9, 0
+    beq r5, r9, wait
+    mov r1, r5
+    li  r0, 1
+    syscall
+proxy_handler:
+    proxyexec r1
+    sret
+stpl:
+s1: j   s1
+    li  r8, 42
+    la  r4, done
+    std r8, [r4]
+park:
+    pause
+    j   park
+stend:
+patch:
+    li  r6, 0
+.data
+done: .u64 0
+`
+	b, _ := run(t, testCfg(1), asm.MustAssemble(src))
+	if b.ExitCode != 42 {
+		t.Fatalf("exit = %d, want 42 (peer store missed the compiled spin loop?)", b.ExitCode)
+	}
+	checkEquiv(t, testCfg(1), src)
+}
+
+// pauseMidRun runs prog on the fast loop until a mid-run pause point,
+// returning the paused machine.
+func pauseMidRun(t *testing.T, cfg Config, prog *asm.Program) *Machine {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBare(m, prog); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPause(2000)
+	if err := m.Run(); !errors.Is(err, ErrPaused) {
+		t.Fatalf("run = %v, want ErrPaused", err)
+	}
+	return m
+}
+
+var sbLoopProg = asm.MustAssemble(`
+main:
+    li  r10, 100000
+loop:
+    addi r10, r10, -1
+    li  r9, 0
+    bne r10, r9, loop
+    li  r0, 1
+    li  r1, 0
+    syscall
+`)
+
+// TestSuperblockTLBMaintenanceGates: INVLPG on the executing page,
+// TLBFLUSH, and a CR3 write must each close the compiled-path entry
+// gate (the fetch window), forcing the next fetch back through the
+// walk and the generation re-check.
+func TestSuperblockTLBMaintenanceGates(t *testing.T) {
+	ops := []struct {
+		name string
+		do   func(m *Machine, s *Sequencer)
+	}{
+		{"invlpg", func(m *Machine, s *Sequencer) {
+			s.Regs[1] = s.PC
+			if f := m.execInstr(s, isa.Instr{Op: isa.OpInvlpg, Rs1: 1}); f != nil {
+				t.Fatalf("invlpg faulted: %+v", f)
+			}
+		}},
+		{"tlbflush", func(m *Machine, s *Sequencer) {
+			if f := m.execInstr(s, isa.Instr{Op: isa.OpTlbflush}); f != nil {
+				t.Fatalf("tlbflush faulted: %+v", f)
+			}
+		}},
+		{"cr3-write", func(m *Machine, s *Sequencer) {
+			root := s.CRs[isa.CR3]
+			s.CRs[isa.CR3] = root // same root: even a no-op rewrite must flush
+			m.NotifyCRWrite(s)
+		}},
+	}
+	for _, op := range ops {
+		t.Run(op.name, func(t *testing.T) {
+			m := pauseMidRun(t, testCfg(0), sbLoopProg)
+			s := m.Procs[0].OMS()
+			s.Ring = isa.Ring0 // TLB maintenance is privileged
+			if s.winGen == nil || *s.winGen != s.decGen {
+				t.Fatal("precondition: paused sequencer has no valid fetch window")
+			}
+			if s.sb == nil || s.sb.gen != s.decGen {
+				t.Fatal("precondition: paused sequencer has no attached compiled page")
+			}
+			op.do(m, s)
+			if s.winGen != nil {
+				t.Fatalf("%s left the fetch window open: the compiled path could run stale translations", op.name)
+			}
+		})
+	}
+}
+
+// TestSuperblockSnapshotExcludesCompiledState: compiled pages and the
+// host counters that track them are process-local derived state. A
+// compiled run and a NoSuperblock oracle run paused at the same point
+// must encode byte-identical snapshots, and a restore must come back
+// with an empty compiled-page cache (pages rebuild on demand).
+func TestSuperblockSnapshotExcludesCompiledState(t *testing.T) {
+	mFast := pauseMidRun(t, testCfg(0), sbLoopProg)
+	oracle := testCfg(0)
+	oracle.NoSuperblock = true
+	mOracle := pauseMidRun(t, oracle, sbLoopProg)
+
+	if len(mFast.sbCache) == 0 {
+		t.Fatal("precondition: fast run compiled no pages")
+	}
+	if len(mOracle.sbCache) != 0 {
+		t.Fatal("oracle run compiled pages despite NoSuperblock")
+	}
+	mFast.FinalizeMetrics()
+	mOracle.FinalizeMetrics()
+
+	wF := wire.NewWriter(1 << 20)
+	if err := mFast.EncodeSnapshot(wF); err != nil {
+		t.Fatal(err)
+	}
+	wO := wire.NewWriter(1 << 20)
+	// The oracle knob is config, and config is snapshotted; align it so
+	// the comparison sees only derived-state differences.
+	mOracle.Cfg.NoSuperblock = false
+	if err := mOracle.EncodeSnapshot(wO); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wF.Bytes(), wO.Bytes()) {
+		t.Fatal("compiled-path snapshot differs from oracle snapshot: host state leaked into the image")
+	}
+
+	m2, err := RestoreMachine(wire.NewReader(wF.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.sbCache) != 0 {
+		t.Fatal("restore resurrected compiled pages")
+	}
+	for _, s := range m2.Seqs {
+		if s.sb != nil {
+			t.Fatalf("%s restored with an attached compiled page", s.Name())
+		}
+	}
+}
+
+// TestSuperblockDisabledKnob: NoSuperblock must keep the compiled
+// plane completely cold, and the enabled path must publish its host
+// counters.
+func TestSuperblockDisabledKnob(t *testing.T) {
+	cfg := testCfg(0)
+	cfg.NoSuperblock = true
+	_, m := run(t, cfg, sbLoopProg)
+	if m.sbBuilds != 0 || m.sbRuns != 0 || len(m.sbCache) != 0 {
+		t.Fatalf("NoSuperblock run touched the compiled plane: builds=%d runs=%d cached=%d",
+			m.sbBuilds, m.sbRuns, len(m.sbCache))
+	}
+
+	_, m = run(t, testCfg(0), sbLoopProg)
+	if m.sbBuilds == 0 || m.sbRuns == 0 {
+		t.Fatalf("fast run never used the compiled plane: builds=%d runs=%d", m.sbBuilds, m.sbRuns)
+	}
+	reg := m.Obs.Metrics
+	if got := reg.CounterValue("host.superblock.builds"); got != m.sbBuilds {
+		t.Fatalf("host.superblock.builds = %d, want %d", got, m.sbBuilds)
+	}
+	if got := reg.CounterValue("host.superblock.block_runs"); got != m.sbRuns {
+		t.Fatalf("host.superblock.block_runs = %d, want %d", got, m.sbRuns)
+	}
+}

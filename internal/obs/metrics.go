@@ -165,14 +165,47 @@ func (r *Registry) CounterValue(name string) uint64 {
 	return 0
 }
 
-// Names returns every registered metric name, sorted.
+// hostPrefix marks host-side metrics: accounting about the simulator's
+// own machinery (compiled-page cache activity, for example), not the
+// simulated machine. Host metrics are excluded from Names, WriteTo,
+// String, and snapshots so every identity surface — loop difftests,
+// snapshot byte-comparisons, cached serve results — is unaffected by
+// host-side optimizations. Read them via HostNames / WriteHostTo.
+const hostPrefix = "host."
+
+// IsHost reports whether name is in the host section.
+func IsHost(name string) bool { return strings.HasPrefix(name, hostPrefix) }
+
+// Names returns every registered simulation metric name, sorted. The
+// host section is excluded; see HostNames.
 func (r *Registry) Names() []string {
 	names := make([]string, 0, len(r.counters)+len(r.hists))
 	for n := range r.counters {
-		names = append(names, n)
+		if !IsHost(n) {
+			names = append(names, n)
+		}
 	}
 	for n := range r.hists {
-		names = append(names, n)
+		if !IsHost(n) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HostNames returns every registered host-section metric name, sorted.
+func (r *Registry) HostNames() []string {
+	var names []string
+	for n := range r.counters {
+		if IsHost(n) {
+			names = append(names, n)
+		}
+	}
+	for n := range r.hists {
+		if IsHost(n) {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -182,8 +215,19 @@ func (r *Registry) Names() []string {
 // line: counters as "counter <name> <value>" and histograms as
 // "hist <name> count=… sum=… min=… max=… mean=… p50=… p90=… p99=…".
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	return r.write(w, r.Names())
+}
+
+// WriteHostTo renders the host section in the same format. Kept apart
+// from WriteTo so the main dump stays identical across host-side
+// optimization knobs.
+func (r *Registry) WriteHostTo(w io.Writer) (int64, error) {
+	return r.write(w, r.HostNames())
+}
+
+func (r *Registry) write(w io.Writer, names []string) (int64, error) {
 	var total int64
-	for _, name := range r.Names() {
+	for _, name := range names {
 		var line string
 		if c, ok := r.counters[name]; ok {
 			line = fmt.Sprintf("counter %-28s %d\n", name, c.v)

@@ -277,6 +277,14 @@ const (
 	MKSwitches   = "kernel.ctx_switches"
 	MKRebinds    = "kernel.rebinds"
 
+	// Host section (excluded from dumps and snapshots; see hostPrefix):
+	// superblock compiled-page cache activity in the fast loop — pages
+	// compiled, pages invalidated by stores or translation changes, and
+	// entries into the compiled-path executors.
+	MSBBuilds      = "host.superblock.builds"
+	MSBInvalidates = "host.superblock.invalidates"
+	MSBRuns        = "host.superblock.block_runs"
+
 	// Fault plane: injections performed by the plan, faults detected by
 	// the kernel health check or core watchdog, recoveries completed,
 	// and the detection-to-recovery latency histogram (cycles).

@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"misp/internal/snap/wire"
 )
 
 func ev(ts uint64, seq int, k Kind) Event {
@@ -199,5 +202,48 @@ func TestProfile(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "f+0x8") || strings.Contains(out, "\n0x100") {
 		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestHostSectionExcludedFromIdentitySurfaces(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MInstrs).Set(7)
+	r.Counter(MSBBuilds).Set(3)
+	r.Counter(MSBRuns).Set(99)
+
+	dump := r.String()
+	if strings.Contains(dump, "host.") {
+		t.Fatalf("host section leaked into String():\n%s", dump)
+	}
+	if !strings.Contains(dump, MInstrs) {
+		t.Fatalf("simulation metric missing from String():\n%s", dump)
+	}
+	for _, n := range r.Names() {
+		if IsHost(n) {
+			t.Fatalf("Names() returned host metric %q", n)
+		}
+	}
+	hn := r.HostNames()
+	if len(hn) != 2 || hn[0] != MSBRuns && hn[1] != MSBRuns {
+		t.Fatalf("HostNames() = %v", hn)
+	}
+	var hb strings.Builder
+	if _, err := r.WriteHostTo(&hb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hb.String(), MSBBuilds) {
+		t.Fatalf("WriteHostTo missing %s:\n%s", MSBBuilds, hb.String())
+	}
+
+	// Snapshot bytes must be identical with and without host counters:
+	// a compiled run and an oracle run differ only in the host section.
+	bare := NewRegistry()
+	bare.Counter(MInstrs).Set(7)
+	w1 := wire.NewWriter(256)
+	r.EncodeSnapshot(w1)
+	w2 := wire.NewWriter(256)
+	bare.EncodeSnapshot(w2)
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("host counters changed the registry snapshot encoding")
 	}
 }

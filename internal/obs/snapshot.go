@@ -69,11 +69,16 @@ func (b *Bus) DecodeSnapshot(r *wire.Reader) error {
 }
 
 // EncodeSnapshot writes the registry with names sorted, so identical
-// state always encodes to identical bytes.
+// state always encodes to identical bytes. The host section is
+// excluded: host metrics describe the simulator process that produced
+// the snapshot, not the simulated machine, and including them would
+// break byte-identity across host-side optimization knobs.
 func (g *Registry) EncodeSnapshot(w *wire.Writer) {
 	cnames := make([]string, 0, len(g.counters))
 	for name := range g.counters {
-		cnames = append(cnames, name)
+		if !IsHost(name) {
+			cnames = append(cnames, name)
+		}
 	}
 	sort.Strings(cnames)
 	w.U64(uint64(len(cnames)))
@@ -83,7 +88,9 @@ func (g *Registry) EncodeSnapshot(w *wire.Writer) {
 	}
 	hnames := make([]string, 0, len(g.hists))
 	for name := range g.hists {
-		hnames = append(hnames, name)
+		if !IsHost(name) {
+			hnames = append(hnames, name)
+		}
 	}
 	sort.Strings(hnames)
 	w.U64(uint64(len(hnames)))

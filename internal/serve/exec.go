@@ -194,12 +194,13 @@ func executeSweep(ctx context.Context, c *Request, warm *workloads.WarmPool) (Ar
 		Ctx:      ctx,
 		Warm:     warm,
 	}
-	if c.LegacyLoop || c.NoDataWindow {
-		legacy, nodw := c.LegacyLoop, c.NoDataWindow
+	if c.LegacyLoop || c.NoDataWindow || c.NoSuperblock {
+		legacy, nodw, nosb := c.LegacyLoop, c.NoDataWindow, c.NoSuperblock
 		opt.Config = func(top core.Topology) core.Config {
 			cfg := workloads.DefaultConfig(top)
 			cfg.LegacyLoop = legacy
 			cfg.NoDataWindow = nodw
+			cfg.NoSuperblock = nosb
 			return cfg
 		}
 	}

@@ -71,6 +71,7 @@ type Request struct {
 	Parallel     int  `json:"parallel,omitempty"`       // host workers for sweep fan-out
 	LegacyLoop   bool `json:"legacy_loop,omitempty"`    // force the legacy execution loop
 	NoDataWindow bool `json:"no_data_window,omitempty"` // disable the data-window cache
+	NoSuperblock bool `json:"no_superblock,omitempty"`  // disable superblock compilation
 }
 
 // DefaultSignalCost is the paper's conservative signal estimate,
@@ -171,9 +172,10 @@ const keySchema = "mispserve/v1"
 
 // Key derives the content-address of a canonical request: a SHA-256
 // over a line-oriented rendering of every result-affecting field.
-// Execution-only knobs (Parallel, LegacyLoop, NoDataWindow) are
-// deliberately absent — the simulation is bit-identical across them,
-// so they must map to the same cache entry.
+// Execution-only knobs (Parallel, LegacyLoop, NoDataWindow,
+// NoSuperblock) are deliberately absent — the simulation is
+// bit-identical across them, so they must map to the same cache
+// entry.
 func (c *Request) Key() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, keySchema)
@@ -216,6 +218,7 @@ func (c *Request) config() (core.Config, error) {
 	}
 	cfg.LegacyLoop = c.LegacyLoop
 	cfg.NoDataWindow = c.NoDataWindow
+	cfg.NoSuperblock = c.NoSuperblock
 	return cfg, nil
 }
 

@@ -54,8 +54,9 @@ func waitJob(t *testing.T, j *Job) {
 // --- cache-key determinism -------------------------------------------
 
 // TestKeyIgnoresExecutionKnobs: the simulator is bit-identical across
-// host parallelism, the legacy loop, and the data-window ablation, so
-// requests differing only in those knobs must share one cache entry.
+// host parallelism, the legacy loop, and the data-window and
+// superblock ablations, so requests differing only in those knobs
+// must share one cache entry.
 func TestKeyIgnoresExecutionKnobs(t *testing.T) {
 	base := mustCanonical(t, &Request{Kind: KindSweep, Apps: []string{"dense_mmm"}, Size: "test"})
 	want := base.Key()
@@ -64,7 +65,8 @@ func TestKeyIgnoresExecutionKnobs(t *testing.T) {
 		func(r *Request) { r.Parallel = 7 },
 		func(r *Request) { r.LegacyLoop = true },
 		func(r *Request) { r.NoDataWindow = true },
-		func(r *Request) { r.Parallel = 4; r.LegacyLoop = true; r.NoDataWindow = true },
+		func(r *Request) { r.NoSuperblock = true },
+		func(r *Request) { r.Parallel = 4; r.LegacyLoop = true; r.NoDataWindow = true; r.NoSuperblock = true },
 	} {
 		req := &Request{Kind: KindSweep, Apps: []string{"dense_mmm"}, Size: "test"}
 		mutate(req)

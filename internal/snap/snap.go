@@ -33,8 +33,8 @@ import (
 // bumped on any codec layout change (there is no cross-version
 // migration — a snapshot is a cache artifact, not an archival format).
 const (
-	magic   = "MISPSNP1"
-	Version = 1
+	magic   = "MISPSNP2"
+	Version = 2
 )
 
 // Snapshot is an encoded machine+kernel image.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -227,5 +228,41 @@ func TestMapCtxCustomCauseClassifiable(t *testing.T) {
 	}
 	if !errors.Is(err, cause) {
 		t.Fatalf("err = %v, want the descriptive cause in the chain", err)
+	}
+}
+
+// gid returns the current goroutine's ID from the runtime stack header
+// ("goroutine N [running]: ...") — test-only introspection.
+func gid() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	return strings.Fields(string(buf))[1]
+}
+
+// TestMapWorkersOneRunsInline: workers == 1 is the sweep's regression
+// and debugging mode — jobs must run on the caller's goroutine, in
+// order, with no pool machinery, so stack traces, profiles, and
+// stepping stay linear. A worker pool of one would be observably
+// equivalent in results but not in execution.
+func TestMapWorkersOneRunsInline(t *testing.T) {
+	caller := gid()
+	var order []int
+	_, st, err := Map(1, 8, func(i int) (int, error) {
+		if g := gid(); g != caller {
+			t.Errorf("job %d ran on goroutine %s, caller is %s", i, g, caller)
+		}
+		order = append(order, i) // safe only because execution is inline
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 1 {
+		t.Fatalf("Workers = %d, want 1", st.Workers)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline dispatch out of order: %v", order)
+		}
 	}
 }
