@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck faultcheck servecheck snapcheck
+.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck faultcheck servecheck snapcheck crashcheck
 
 build:
 	$(GO) build ./...
@@ -91,5 +91,18 @@ snapcheck:
 servecheck:
 	bash scripts/serve_smoke.sh
 
+# crashcheck is the durability gate: the journal codec property tests
+# under -race, the checkpoint/resume byte-identity difftests, and the
+# chaos smoke — 20 seeded SIGKILLs of a journaled daemon mid-job, each
+# followed by a restart that must recover the job (never lost, never
+# duplicated) and finish it with artifacts byte-identical to an
+# uninterrupted run.
+crashcheck:
+	$(GO) test -race ./internal/journal/ \
+		-run 'TestRoundTrip|TestTorn|TestBitFlip|TestMidFile|TestRotation'
+	$(GO) test -race -run 'TestCrashRecovery|TestRecovery|TestCheckpoint|TestCacheCorruption|TestServerTorn' \
+		./internal/serve/
+	bash scripts/crash_smoke.sh
+
 # ci is the full gate run by the GitHub Actions workflow.
-ci: build vet test race smoke benchgate paracheck faultcheck servecheck snapcheck
+ci: build vet test race smoke benchgate paracheck faultcheck servecheck snapcheck crashcheck

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	mispserve [-addr :8077] [-queue 64] [-workers N] [-cachedir DIR] [-drain 30s]
+//	          [-journal DIR] [-checkpoint-cycles N] [-max-retries N] [-job-timeout D]
 //	mispserve submit -app dense_mmm [-size test] [-wait] [-server URL] [flags...]
 //	mispserve submit -sweep -exp table1 [-apps a,b] [-wait] [-server URL]
 //	mispserve status [-id JOB | -list] [-server URL]
@@ -60,6 +61,10 @@ func daemon() {
 	workers := flag.Int("workers", 0, "concurrent jobs (0 = half the host cores)")
 	cacheDir := flag.String("cachedir", "", "persist the result cache in this directory (default: memory only)")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM before in-flight jobs are canceled")
+	journalDir := flag.String("journal", "", "durable job plane: write-ahead journal + checkpoint images in this directory (default: jobs are memory-only)")
+	ckptCycles := flag.Uint64("checkpoint-cycles", 0, "checkpoint running simulations every N simulated cycles (0 = off; needs -journal)")
+	maxRetries := flag.Int("max-retries", 0, "execution attempts per job before it fails with a diagnosis (0 = default 3)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock budget from admission (0 = unlimited)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -68,9 +73,13 @@ func daemon() {
 	}
 
 	srv, err := serve.NewServer(serve.Config{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		CacheDir:   *cacheDir,
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		CacheDir:         *cacheDir,
+		JournalDir:       *journalDir,
+		CheckpointCycles: *ckptCycles,
+		MaxRetries:       *maxRetries,
+		JobTimeout:       *jobTimeout,
 	})
 	if err != nil {
 		fatal(err)
@@ -119,9 +128,19 @@ func daemon() {
 
 // --- client mode ------------------------------------------------------
 
+// newClient builds the CLI's client with its resilience loop: transient
+// connect errors and backpressure (429/503) retry with jittered
+// exponential backoff, honoring the daemon's Retry-After hint.
+func newClient(server string, retries int) *serve.Client {
+	cl := serve.NewClient(server)
+	cl.Retry = serve.RetryPolicy{MaxAttempts: retries}
+	return cl
+}
+
 func clientSubmit(args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	server := fs.String("server", "http://127.0.0.1:8077", "daemon base URL")
+	retries := fs.Int("retries", 3, "attempts for transient errors and backpressure (1 = no retry)")
 	sweepKind := fs.Bool("sweep", false, "submit a sweep (evaluation grid) instead of a single run")
 	app := fs.String("app", "", "run: workload name")
 	apps := fs.String("apps", "", "sweep: comma-separated workload subset")
@@ -175,7 +194,7 @@ func clientSubmit(args []string) {
 		req.SignalCost = &sc
 	}
 
-	cl := serve.NewClient(*server)
+	cl := newClient(*server, *retries)
 	view, err := cl.Submit(context.Background(), &req, *wait)
 	if err != nil {
 		fatal(err)
@@ -189,9 +208,10 @@ func clientStatus(args []string) {
 	id := fs.String("id", "", "job ID (empty with -list: list all jobs)")
 	list := fs.Bool("list", false, "list every job")
 	wait := fs.Bool("wait", false, "block until the job completes")
+	retries := fs.Int("retries", 3, "attempts for transient errors and backpressure (1 = no retry)")
 	fs.Parse(args)
 
-	cl := serve.NewClient(*server)
+	cl := newClient(*server, *retries)
 	if *list || *id == "" {
 		views, err := cl.List(context.Background())
 		if err != nil {
@@ -215,12 +235,13 @@ func clientFetch(args []string) {
 	id := fs.String("id", "", "job ID")
 	name := fs.String("name", "summary.json", "artifact name")
 	out := fs.String("o", "", "write to this file instead of stdout")
+	retries := fs.Int("retries", 3, "attempts for transient errors and backpressure (1 = no retry)")
 	fs.Parse(args)
 	if *id == "" {
 		fatal(errors.New("fetch needs -id"))
 	}
 
-	cl := serve.NewClient(*server)
+	cl := newClient(*server, *retries)
 	data, err := cl.Artifact(context.Background(), *id, *name)
 	if err != nil {
 		fatal(err)
@@ -241,10 +262,22 @@ func printView(v *serve.JobView) {
 	if v.Cached {
 		fmt.Print("  [cache hit]")
 	}
+	if v.Recovered {
+		fmt.Print("  [recovered]")
+	}
 	fmt.Println()
 	fmt.Printf("key      %s\n", v.Key)
 	if v.Error != "" {
 		fmt.Printf("error    %s\n", v.Error)
+	}
+	if v.Failure != "" {
+		fmt.Printf("failure  %s\n", v.Failure)
+	}
+	if v.Attempts > 1 {
+		fmt.Printf("attempts %d\n", v.Attempts)
+	}
+	if v.Checkpoint > 0 {
+		fmt.Printf("ckpt     cycle %d\n", v.Checkpoint)
 	}
 	if v.Result != nil {
 		if v.Result.Cycles > 0 {

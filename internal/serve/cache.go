@@ -1,12 +1,21 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sync"
 )
+
+// manifestName is the per-entry integrity record: artifact name →
+// SHA-256 of its bytes, written alongside the artifacts. The leading
+// dot fails ValidArtifactName, so the manifest is invisible to artifact
+// listing and HTTP fetches.
+const manifestName = ".manifest"
 
 // artifactName constrains artifact file names so a disk-backed cache
 // entry can never escape its directory. Every producer in exec.go uses
@@ -36,6 +45,11 @@ type Cache struct {
 	// Test seam: lets cache_test.go hold a load open and verify that
 	// disk I/O never blocks unrelated lookups (loads happen outside mu).
 	loadDelay func(key string)
+
+	// noSync skips the Put fsyncs (files, entry dir, parent dir). Test
+	// seam only: unit tests that do not assert crash durability keep the
+	// happy path fast; production code leaves it false.
+	noSync bool
 }
 
 // loadFlight is one in-flight disk load; done is closed when art/ok
@@ -141,9 +155,11 @@ func (c *Cache) Contains(key string) bool {
 }
 
 // Put stores an artifact set under key. Disk persistence is
-// best-effort write-through: entry files land in a temp directory that
-// is renamed into place, so a crashed or drained daemon never leaves a
-// partial entry where Get could find it.
+// crash-safe write-through: entry files (plus a SHA-256 manifest) land
+// in a temp directory, every file and the directory itself are fsync'd,
+// the directory is renamed into place, and the parent directory is
+// fsync'd — so a crashed daemon never leaves a partial or silently torn
+// entry where Get could find it.
 func (c *Cache) Put(key string, art Artifacts) error {
 	c.mu.Lock()
 	c.mem[key] = art
@@ -165,9 +181,15 @@ func (c *Cache) Put(key string, art Artifacts) error {
 		if !ValidArtifactName(name) {
 			return fmt.Errorf("serve: invalid artifact name %q", name)
 		}
-		if err := os.WriteFile(filepath.Join(tmp, name), data, 0o644); err != nil {
+		if err := c.writeFileSync(filepath.Join(tmp, name), data); err != nil {
 			return err
 		}
+	}
+	if err := c.writeFileSync(filepath.Join(tmp, manifestName), manifestBytes(art)); err != nil {
+		return err
+	}
+	if err := c.syncDir(tmp); err != nil {
+		return err
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		// A concurrent writer won the rename; its content is identical by
@@ -177,16 +199,68 @@ func (c *Cache) Put(key string, art Artifacts) error {
 		}
 		return err
 	}
-	return nil
+	return c.syncDir(dir)
+}
+
+// writeFileSync writes data and fsyncs before closing, so the bytes —
+// not just the directory entry — survive a crash after Put returns.
+func (c *Cache) writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if !c.noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and file creations inside it
+// are durable.
+func (c *Cache) syncDir(path string) error {
+	if c.noSync {
+		return nil
+	}
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// manifestBytes renders the entry manifest: sorted artifact names with
+// hex SHA-256 digests, one JSON object.
+func manifestBytes(art Artifacts) []byte {
+	sums := make(map[string]string, len(art))
+	for name, data := range art {
+		h := sha256.Sum256(data)
+		sums[name] = hex.EncodeToString(h[:])
+	}
+	b, _ := json.MarshalIndent(sums, "", "  ") // map keys marshal sorted
+	return append(b, '\n')
 }
 
 // load reads a disk entry. Called WITHOUT c.mu (disk entries are
 // immutable once renamed into place, so lock-free reads are safe).
+// Entries carrying a manifest are verified against it: a truncated,
+// bit-flipped, or missing artifact makes the whole entry a miss — and
+// the corrupt directory is removed so a later Put can rewrite it —
+// never a panic and never corrupt bytes served to a client. Entries
+// written before the manifest existed load as-is.
 func (c *Cache) load(key string) (Artifacts, bool) {
 	if c.loadDelay != nil {
 		c.loadDelay(key)
 	}
-	entries, err := os.ReadDir(filepath.Join(c.dir, key))
+	dir := filepath.Join(c.dir, key)
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, false
 	}
@@ -195,7 +269,7 @@ func (c *Cache) load(key string) (Artifacts, bool) {
 		if e.IsDir() || !ValidArtifactName(e.Name()) {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(c.dir, key, e.Name()))
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, false
 		}
@@ -204,7 +278,36 @@ func (c *Cache) load(key string) (Artifacts, bool) {
 	if len(art) == 0 {
 		return nil, false
 	}
+	if mb, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+		if !verifyManifest(mb, art) {
+			// The entry is torn or bit-flipped: evict it so the next Put
+			// (a re-simulation) can land a good copy under the same key.
+			os.RemoveAll(dir)
+			return nil, false
+		}
+	}
 	return art, true
+}
+
+// verifyManifest checks every manifest digest against the loaded
+// bytes. Extra on-disk files are tolerated (forward compatibility);
+// missing or mismatching ones are corruption.
+func verifyManifest(manifest []byte, art Artifacts) bool {
+	var sums map[string]string
+	if json.Unmarshal(manifest, &sums) != nil || len(sums) == 0 {
+		return false
+	}
+	for name, want := range sums {
+		data, ok := art[name]
+		if !ok {
+			return false
+		}
+		h := sha256.Sum256(data)
+		if hex.EncodeToString(h[:]) != want {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats returns entry count (in-memory layer) and hit/miss counters.

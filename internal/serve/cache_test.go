@@ -170,7 +170,7 @@ func TestRetryAfterCeiling(t *testing.T) {
 // ETag must answer 304 with no body.
 func TestArtifactIfNoneMatch(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
-	s.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
 		return Artifacts{"summary.json": []byte("{}\n")}, &Result{ChecksumOK: true}, nil
 	}
 	ts := httptest.NewServer(s.Handler())

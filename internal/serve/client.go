@@ -6,18 +6,70 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
 
+// RetryPolicy tunes the client's resilience loop. The zero value means
+// a single attempt (no retries) so embedding the client costs nothing
+// unless resilience is asked for.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included);
+	// values <= 1 disable retries.
+	MaxAttempts int
+	// Base is the first backoff delay (default 200ms). Successive delays
+	// double with uniform ±50% jitter.
+	Base time.Duration
+	// Max caps a single backoff delay (default 5s). A server Retry-After
+	// hint overrides the computed backoff but is still capped at 4×Max
+	// so a hostile or confused server cannot park the client forever.
+	Max time.Duration
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.Base > 0 {
+		return p.Base
+	}
+	return 200 * time.Millisecond
+}
+
+func (p RetryPolicy) max() time.Duration {
+	if p.Max > 0 {
+		return p.Max
+	}
+	return 5 * time.Second
+}
+
+// delay computes the jittered backoff before try attempt+1, honoring a
+// Retry-After hint of the server when one was given.
+func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.base() << (attempt - 1)
+	if d > p.max() || d <= 0 {
+		d = p.max()
+	}
+	d = d/2 + rand.N(d) // uniform in [d/2, 3d/2)
+	if retryAfter > d {
+		d = min(retryAfter, 4*p.max())
+	}
+	return d
+}
+
 // Client is a minimal HTTP client for a running mispserve daemon. It
 // exists so the CLI and tests speak the same wire format as any other
 // consumer; there is no hidden side channel into the server.
+//
+// With a RetryPolicy set, transient failures — connection errors,
+// 429 (queue full) and 503 (draining) responses — are retried with
+// jittered exponential backoff, honoring the server's Retry-After
+// header; the final error reports how many attempts were burned.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	Retry RetryPolicy
 }
 
 // NewClient builds a client for the daemon at base (e.g.
@@ -40,12 +92,14 @@ func (c *Client) Submit(ctx context.Context, req *Request, wait bool) (*JobView,
 	if wait {
 		u += "?wait=1"
 	}
-	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hr.Header.Set("Content-Type", "application/json")
-	return c.jobView(hr)
+	return c.jobView(ctx, func() (*http.Request, error) {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		return hr, nil
+	})
 }
 
 // Status fetches one job's view; wait blocks until terminal.
@@ -54,20 +108,16 @@ func (c *Client) Status(ctx context.Context, id string, wait bool) (*JobView, er
 	if wait {
 		u += "?wait=1"
 	}
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, err
-	}
-	return c.jobView(hr)
+	return c.jobView(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	})
 }
 
 // List returns every job the daemon knows about.
 func (c *Client) List(ctx context.Context) ([]JobView, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http.Do(hr)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs", nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -87,11 +137,9 @@ func (c *Client) List(ctx context.Context) ([]JobView, error) {
 // Artifact fetches one artifact's bytes.
 func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) {
 	u := c.base + "/v1/jobs/" + url.PathEscape(id) + "/artifacts/" + url.PathEscape(name)
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http.Do(hr)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -102,21 +150,86 @@ func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) 
 	return io.ReadAll(resp.Body)
 }
 
-// Cancel asks the daemon to cancel a job.
+// Cancel asks the daemon to cancel a job. Cancellation is not retried:
+// it is not idempotent from the caller's intent (a retried cancel could
+// land on a job resubmitted in between).
 func (c *Client) Cancel(ctx context.Context, id string) (*JobView, error) {
 	u := c.base + "/v1/jobs/" + url.PathEscape(id)
 	hr, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
 	if err != nil {
 		return nil, err
 	}
-	return c.jobView(hr)
-}
-
-func (c *Client) jobView(hr *http.Request) (*JobView, error) {
 	resp, err := c.http.Do(hr)
 	if err != nil {
 		return nil, err
 	}
+	return decodeJobView(resp)
+}
+
+// do issues one logical request through the retry loop. build runs per
+// attempt so each try gets a fresh body reader. Only transport errors
+// and backpressure statuses (429, 503) retry; every other response is
+// returned to the caller, body open.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		hr, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http.Do(hr)
+		var retryAfter time.Duration
+		switch {
+		case err == nil && resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable:
+			return resp, nil
+		case err == nil:
+			// Backpressure: drain and close so the connection is reusable,
+			// keep the hint, and fall through to the backoff.
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			lastErr = apiError(resp)
+			resp.Body.Close()
+		case ctx.Err() != nil:
+			// The caller gave up; that outranks any retry budget.
+			return nil, ctx.Err()
+		default:
+			lastErr = err // transient transport error (connect refused, reset…)
+		}
+		if attempt >= attempts {
+			if attempts > 1 {
+				return nil, fmt.Errorf("serve: giving up after %d attempts: %w", attempt, lastErr)
+			}
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(c.Retry.delay(attempt, retryAfter)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After ("" or
+// unparsable — including the HTTP-date form — means no hint).
+func parseRetryAfter(h string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+func (c *Client) jobView(ctx context.Context, build func() (*http.Request, error)) (*JobView, error) {
+	resp, err := c.do(ctx, build)
+	if err != nil {
+		return nil, err
+	}
+	return decodeJobView(resp)
+}
+
+func decodeJobView(resp *http.Response) (*JobView, error) {
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusAccepted:

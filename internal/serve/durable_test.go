@@ -1,0 +1,555 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"misp/internal/journal"
+)
+
+// durableDirs builds a journal+cache directory pair under one temp
+// root, so a "restarted" server can reopen the same state.
+func durableDirs(t *testing.T) (jdir, cdir string) {
+	t.Helper()
+	root := t.TempDir()
+	return filepath.Join(root, "journal"), filepath.Join(root, "cache")
+}
+
+// crash simulates the process dying: the journal handle is closed (so
+// the dead server's stray appends vanish with ErrClosed, exactly like a
+// dead process's buffered writes) and the workers are cut loose. The
+// on-disk journal and cache stay exactly as the "crash" left them.
+func crash(s *Server) {
+	if s.jnl != nil {
+		s.jnl.Close()
+	}
+	s.baseCancel(errors.New("test: simulated crash"))
+}
+
+// appendRec writes one schema record to a journal file directly —
+// tests use it to author pre-crash histories byte by byte.
+func appendRec(t *testing.T, jn *journal.Journal, r jrec) {
+	t.Helper()
+	b, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryCompletesJobs is the tentpole in miniature: jobs
+// accepted (and one mid-run) when the process dies are replayed from
+// the journal by the next server and run to completion, with artifacts
+// byte-identical to a never-crashed run — never lost, never duplicated.
+func TestCrashRecoveryCompletesJobs(t *testing.T) {
+	// Reference artifacts from an uninterrupted run.
+	wantArt, _, err := Execute(context.Background(), mustCanonical(t, tinyRun()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jdir, cdir := durableDirs(t)
+	s1, err := NewServer(Config{Workers: 1, JournalDir: jdir, CacheDir: cdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	running := make(chan struct{})
+	s1.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
+		close(running)
+		<-ctx.Done() // wedged until the "crash"
+		return nil, nil, context.Cause(ctx)
+	}
+	j1, err := s1.Submit(tinyRun(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := &Request{Kind: KindSweep, Apps: []string{"dense_mmm"}, Size: "test", Seqs: 2, Exp: "table1"}
+	j2, err := s1.Submit(sweep, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running // j1 holds a lease; j2 is queued
+	crash(s1)
+
+	s2, err := NewServer(Config{Workers: 2, JournalDir: jdir, CacheDir: cdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s2.Drain(ctx)
+	}()
+
+	jobs := s2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2 (never lost, never duplicated)", len(jobs))
+	}
+	for _, j := range jobs {
+		if !j.Recovered {
+			t.Fatalf("job %s not marked recovered", j.ID)
+		}
+		waitJob(t, j)
+		if j.Status != StatusDone {
+			t.Fatalf("recovered job %s: status=%s err=%q", j.ID, j.Status, j.Err)
+		}
+	}
+	// IDs survive the crash verbatim.
+	if _, ok := s2.Job(j1.ID); !ok {
+		t.Fatalf("job ID %s lost across restart", j1.ID)
+	}
+	if _, ok := s2.Job(j2.ID); !ok {
+		t.Fatalf("job ID %s lost across restart", j2.ID)
+	}
+	// The mid-run job's artifacts are byte-identical to the reference.
+	rj, _ := s2.Job(j1.ID)
+	got, ok := s2.cache.Peek(rj.Key)
+	if !ok {
+		t.Fatal("recovered job produced no cache entry")
+	}
+	assertSameArtifacts(t, wantArt, got)
+	// And its burned lease carried over: attempt 1 died with s1, so the
+	// completing attempt is at least the second.
+	if rj.Attempt < 2 {
+		t.Fatalf("recovered job completed at attempt %d, want >= 2 (lease carried over)", rj.Attempt)
+	}
+
+	// A third boot sees only terminal jobs: nothing re-enqueues, nothing
+	// is lost, and compaction holds the record count at 2 accepted + 2
+	// terminal.
+	crash(s2)
+	s3, err := NewServer(Config{Workers: 1, JournalDir: jdir, CacheDir: cdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Drain(context.Background())
+	if n := len(s3.Jobs()); n != 2 {
+		t.Fatalf("third boot sees %d jobs, want 2", n)
+	}
+	for _, j := range s3.Jobs() {
+		if j.Status != StatusDone {
+			t.Fatalf("third boot: job %s is %s, want done", j.ID, j.Status)
+		}
+	}
+	if got := s3.jnl.Records(); got != 4 {
+		t.Fatalf("compacted journal holds %d records, want 4", got)
+	}
+}
+
+// TestRecoveryDedupesAgainstCache: a job that finished — cache entry
+// durable — whose terminal record was lost to the crash must be marked
+// done at replay, not re-simulated and not duplicated.
+func TestRecoveryDedupesAgainstCache(t *testing.T) {
+	jdir, cdir := durableDirs(t)
+	c := mustCanonical(t, tinyRun())
+
+	cache, err := NewCache(cdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := Artifacts{"summary.json": []byte("{\"done\":true}\n")}
+	if err := cache.Put(c.Key(), art); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	jn, _, err := journal.Open(filepath.Join(jdir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec(t, jn, jrec{Op: opAccepted, ID: "j1-" + c.Key()[:8], Key: c.Key(), Req: c})
+	appendRec(t, jn, jrec{Op: opStarted, ID: "j1-" + c.Key()[:8], Attempt: 1})
+	jn.Close()
+
+	s, err := NewServer(Config{Workers: 1, JournalDir: jdir, CacheDir: cdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	j, ok := s.Job("j1-" + c.Key()[:8])
+	if !ok {
+		t.Fatal("journaled job lost")
+	}
+	if j.Status != StatusDone {
+		t.Fatalf("deduped job status = %s, want done", j.Status)
+	}
+	if got := s.reg.CounterValue("serve.resume.deduped"); got != 1 {
+		t.Fatalf("serve.resume.deduped = %d, want 1", got)
+	}
+	if q, _ := s.QueueDepth(); q != 0 {
+		t.Fatalf("deduped job was re-enqueued (queue depth %d)", q)
+	}
+}
+
+// TestRecoveryFailsPoisonJob: a job whose journaled attempts already
+// consumed the retry budget fails at replay with a structured,
+// errors.As-reachable diagnosis instead of wedging the daemon forever.
+func TestRecoveryFailsPoisonJob(t *testing.T) {
+	jdir, cdir := durableDirs(t)
+	c := mustCanonical(t, tinyRun())
+	id := "j7-" + c.Key()[:8]
+
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	jn, _, err := journal.Open(filepath.Join(jdir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec(t, jn, jrec{Op: opAccepted, ID: id, Key: c.Key(), Req: c})
+	for a := 1; a <= 2; a++ {
+		appendRec(t, jn, jrec{Op: opStarted, ID: id, Attempt: a})
+	}
+	jn.Close()
+
+	s, err := NewServer(Config{Workers: 1, JournalDir: jdir, CacheDir: cdir, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	j, ok := s.Job(id)
+	if !ok {
+		t.Fatal("journaled job lost")
+	}
+	if j.Status != StatusFailed {
+		t.Fatalf("poison job status = %s, want failed", j.Status)
+	}
+	var je *JobError
+	if !errors.As(fmt.Errorf("wrap: %w", error(j.Failure)), &je) {
+		t.Fatal("job failure is not errors.As-reachable")
+	}
+	if je.Reason != ReasonRetries || je.Attempts != 2 {
+		t.Fatalf("diagnosis = %q after %d attempts, want %q after 2", je.Reason, je.Attempts, ReasonRetries)
+	}
+	// The ID counter moved past the recovered ID: new jobs don't collide.
+	j2, err := s.Submit(&Request{Kind: KindSweep, Apps: []string{"kmeans"}, Size: "test", Seqs: 2, Exp: "table1"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID == id {
+		t.Fatalf("new job reused recovered ID %s", id)
+	}
+	waitJob(t, j2)
+}
+
+// TestRetryExhaustionDiagnosis: in-process attempt failures retry with
+// backoff and then settle as a JobError carrying reason, attempt count,
+// and the last attempt's error.
+func TestRetryExhaustionDiagnosis(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MaxRetries: 3, RetryBackoff: time.Millisecond})
+	var calls atomic.Int32
+	boom := errors.New("exec: boom")
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
+		calls.Add(1)
+		return nil, nil, boom
+	}
+	j, err := s.Submit(tinyRun(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if j.Status != StatusFailed {
+		t.Fatalf("status = %s, want failed", j.Status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("executed %d attempts, want 3", got)
+	}
+	if j.Failure == nil || j.Failure.Reason != ReasonRetries || j.Failure.Attempts != 3 {
+		t.Fatalf("failure = %+v, want retries-exhausted after 3", j.Failure)
+	}
+	if !errors.Is(j.Failure, boom) {
+		t.Fatal("JobError does not wrap the last attempt's error")
+	}
+	if s.reg.CounterValue("serve.jobs.retries") != 2 {
+		t.Fatalf("serve.jobs.retries = %d, want 2", s.reg.CounterValue("serve.jobs.retries"))
+	}
+}
+
+// TestJobTimeoutDiagnosis: the per-job deadline settles the job as a
+// failed JobError (reason deadline-exceeded), not a bare cancellation.
+func TestJobTimeoutDiagnosis(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, JobTimeout: 30 * time.Millisecond})
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
+		<-ctx.Done()
+		return nil, nil, ctx.Err()
+	}
+	j, err := s.Submit(tinyRun(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if j.Status != StatusFailed {
+		t.Fatalf("status = %s, want failed", j.Status)
+	}
+	if j.Failure == nil || j.Failure.Reason != ReasonDeadline {
+		t.Fatalf("failure = %+v, want deadline-exceeded", j.Failure)
+	}
+}
+
+// TestCancelStaysCanceled: user cancellation is not retried and not
+// reclassified by the durable plane.
+func TestCancelStaysCanceled(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MaxRetries: 3})
+	running := make(chan struct{})
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
+		close(running)
+		<-ctx.Done()
+		return nil, nil, context.Cause(ctx)
+	}
+	j, err := s.Submit(tinyRun(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	s.Cancel(j.ID, context.Canceled)
+	waitJob(t, j)
+	if j.Status != StatusCanceled {
+		t.Fatalf("status = %s, want canceled", j.Status)
+	}
+	if j.Attempt != 1 {
+		t.Fatalf("canceled job burned %d attempts, want 1", j.Attempt)
+	}
+}
+
+// TestServerTornJournalTail: garbage appended to the journal (a torn
+// final write) is ignored at boot — the intact prefix replays, the tear
+// is truncated, and the server runs normally. Startup corruption is a
+// degraded read, never a panic.
+func TestServerTornJournalTail(t *testing.T) {
+	jdir, cdir := durableDirs(t)
+	c := mustCanonical(t, tinyRun())
+	id := "j1-" + c.Key()[:8]
+
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(jdir, "journal.wal")
+	jn, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec(t, jn, jrec{Op: opAccepted, ID: id, Key: c.Key(), Req: c})
+	jn.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe}) // torn frame header
+	f.Close()
+
+	s, err := NewServer(Config{Workers: 1, JournalDir: jdir, CacheDir: cdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	if got := s.reg.CounterValue("serve.journal.torn_bytes"); got != 3 {
+		t.Fatalf("serve.journal.torn_bytes = %d, want 3", got)
+	}
+	j, ok := s.Job(id)
+	if !ok {
+		t.Fatal("job before the tear was lost")
+	}
+	waitJob(t, j)
+	if j.Status != StatusDone {
+		t.Fatalf("recovered job: status=%s err=%q", j.Status, j.Err)
+	}
+}
+
+// TestCacheCorruptionIsAMiss: truncated or bit-flipped disk entries are
+// detected by the manifest at load, evicted, and reported as misses —
+// and a later Put can rewrite the entry.
+func TestCacheCorruptionIsAMiss(t *testing.T) {
+	corruptions := map[string]func(path string){
+		"bit-flip": func(path string) {
+			b, _ := os.ReadFile(path)
+			b[len(b)/2] ^= 0x20
+			os.WriteFile(path, b, 0o644)
+		},
+		"truncate": func(path string) {
+			b, _ := os.ReadFile(path)
+			os.WriteFile(path, b[:len(b)/2], 0o644)
+		},
+		"remove": func(path string) {
+			os.Remove(path)
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			art := Artifacts{
+				"summary.json": []byte("{\"cycles\":12345}\n"),
+				"counters.csv": []byte("seq,instrs\n0,99\n"),
+			}
+			c1, err := NewCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := "deadbeefdeadbeefdeadbeefdeadbeef"
+			if err := c1.Put(key, art); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(filepath.Join(dir, key, "summary.json"))
+
+			// A fresh cache (the restarted daemon) must see a miss, not a
+			// panic and not corrupt bytes.
+			c2, err := NewCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c2.Get(key); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			// The corrupt entry was evicted: Put can land a good copy.
+			if err := c2.Put(key, art); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := c2.Get(key)
+			if !ok {
+				t.Fatal("rewritten entry missing")
+			}
+			assertSameArtifacts(t, art, got)
+		})
+	}
+}
+
+// TestCacheLegacyEntryWithoutManifest: entries written before the
+// manifest existed still load (no forced re-simulation on upgrade).
+func TestCacheLegacyEntryWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	key := "cafebabecafebabecafebabecafebabe"
+	if err := os.MkdirAll(filepath.Join(dir, key), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key, "summary.json"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("legacy entry without manifest did not load")
+	}
+}
+
+// TestManifestInvisibleToArtifacts: the manifest never appears in
+// artifact listings or loads (its dot prefix fails ValidArtifactName).
+func TestManifestInvisibleToArtifacts(t *testing.T) {
+	if ValidArtifactName(manifestName) {
+		t.Fatalf("%s passes ValidArtifactName; it would leak over HTTP", manifestName)
+	}
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "0123456789abcdef0123456789abcdef"
+	if err := c.Put(key, Artifacts{"a.txt": []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := NewCache(dir)
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if _, leaked := got[manifestName]; leaked {
+		t.Fatal("manifest leaked into the artifact set")
+	}
+}
+
+// TestClientRetriesBackpressure: 429/503 + Retry-After and transient
+// transport errors retry up to the cap; the final error names the
+// attempt count.
+func TestClientRetriesBackpressure(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1") // capped below by Base/Max
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		fmt.Fprint(w, `{"jobs":[]}`)
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	cl.Retry = RetryPolicy{MaxAttempts: 4, Base: time.Millisecond, Max: 2 * time.Millisecond}
+	jobs, err := cl.List(context.Background())
+	if err != nil {
+		t.Fatalf("retry loop did not recover: %v", err)
+	}
+	if len(jobs) != 0 || hits.Load() != 3 {
+		t.Fatalf("got %d jobs after %d hits, want 0 after 3", len(jobs), hits.Load())
+	}
+}
+
+func TestClientRetryExhaustion(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"queue full"}`)
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	cl.Retry = RetryPolicy{MaxAttempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond}
+	_, err := cl.List(context.Background())
+	if err == nil {
+		t.Fatal("exhausted retries returned no error")
+	}
+	if want := "after 3 attempts"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("final error %q does not surface the attempt count", err)
+	}
+}
+
+func TestClientRetriesConnectError(t *testing.T) {
+	// A listener that is closed immediately: connection refused.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	cl := NewClient(url)
+	cl.Retry = RetryPolicy{MaxAttempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond}
+	_, err := cl.List(context.Background())
+	if err == nil {
+		t.Fatal("dead server returned no error")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("final error %q does not surface the attempt count", err)
+	}
+}
+
+func TestClientRetryHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining"}`)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	cl := NewClient(ts.URL)
+	cl.Retry = RetryPolicy{MaxAttempts: 1000, Base: 5 * time.Millisecond, Max: 10 * time.Millisecond}
+	_, err := cl.List(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled retry loop returned %v, want deadline exceeded", err)
+	}
+}

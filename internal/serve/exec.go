@@ -93,15 +93,7 @@ func ExecuteWarm(ctx context.Context, c *Request, warm *workloads.WarmPool) (Art
 }
 
 func executeRun(ctx context.Context, c *Request, warm *workloads.WarmPool) (Artifacts, *Result, error) {
-	w, err := workloads.ByName(c.App)
-	if err != nil {
-		return nil, nil, err
-	}
-	size, err := ParseSize(c.Size)
-	if err != nil {
-		return nil, nil, err
-	}
-	cfg, err := c.config()
+	w, size, cfg, err := runSetup(c)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -113,7 +105,32 @@ func executeRun(ctx context.Context, c *Request, warm *workloads.WarmPool) (Arti
 	if err != nil {
 		return nil, nil, err
 	}
+	return runArtifacts(c, w, size, cfg, res)
+}
 
+// runSetup resolves a run request's workload, size, and machine config.
+// Shared by the plain executor and the checkpointing one (durable.go).
+func runSetup(c *Request) (*workloads.Workload, workloads.Size, core.Config, error) {
+	w, err := workloads.ByName(c.App)
+	if err != nil {
+		return nil, 0, core.Config{}, err
+	}
+	size, err := ParseSize(c.Size)
+	if err != nil {
+		return nil, 0, core.Config{}, err
+	}
+	cfg, err := c.config()
+	if err != nil {
+		return nil, 0, core.Config{}, err
+	}
+	return w, size, cfg, nil
+}
+
+// runArtifacts builds a completed run's artifact set and result
+// summary. Everything here is a pure function of the request and the
+// deterministic run result, so an interrupted-and-resumed run yields
+// bytes identical to an uninterrupted one.
+func runArtifacts(c *Request, w *workloads.Workload, size workloads.Size, cfg core.Config, res *workloads.RunResult) (Artifacts, *Result, error) {
 	sum := runSummary{
 		Request:  c,
 		Key:      c.Key(),

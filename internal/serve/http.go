@@ -24,6 +24,12 @@ type JobView struct {
 	Artifacts []string  `json:"artifacts,omitempty"`
 	WallMS    int64     `json:"wall_ms,omitempty"`
 	Request   *Request  `json:"request,omitempty"`
+
+	// Durable-plane fields (zero without a journal).
+	Attempts   int    `json:"attempts,omitempty"`
+	Checkpoint uint64 `json:"checkpoint_cycle,omitempty"`
+	Recovered  bool   `json:"recovered,omitempty"`
+	Failure    string `json:"failure_reason,omitempty"`
 }
 
 // View snapshots j under the server lock. Artifact names are listed
@@ -31,13 +37,19 @@ type JobView struct {
 func (s *Server) View(j *Job, withRequest bool) JobView {
 	s.mu.Lock()
 	v := JobView{
-		ID:     j.ID,
-		Key:    j.Key,
-		Status: j.Status,
-		Cached: j.Cached,
-		Error:  j.Err,
-		Result: j.Result,
-		WallMS: j.Wall.Milliseconds(),
+		ID:         j.ID,
+		Key:        j.Key,
+		Status:     j.Status,
+		Cached:     j.Cached,
+		Error:      j.Err,
+		Result:     j.Result,
+		WallMS:     j.Wall.Milliseconds(),
+		Attempts:   j.Attempt,
+		Checkpoint: j.Ckpt,
+		Recovered:  j.Recovered,
+	}
+	if j.Failure != nil {
+		v.Failure = j.Failure.Reason
 	}
 	if withRequest {
 		v.Request = j.Req

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; the
+// chaos harness trims its seed sweep so `make race` stays inside the
+// default per-package test timeout (full breadth runs in `make test`
+// and, with real SIGKILLs, in `make crashcheck`).
+const raceEnabled = true

@@ -257,7 +257,7 @@ func TestServerCacheHit(t *testing.T) {
 func TestServerSingleFlight(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
 	release := make(chan struct{})
-	s.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
 		<-release
 		return Artifacts{"summary.json": []byte("{}\n")}, &Result{ChecksumOK: true}, nil
 	}
@@ -284,7 +284,7 @@ func TestServerQueueFull(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	started := make(chan struct{}, 8)
-	s.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
 		started <- struct{}{}
 		select {
 		case <-release:
@@ -322,7 +322,7 @@ func TestServerDrainUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
 		time.Sleep(10 * time.Millisecond)
 		return Artifacts{"summary.json": []byte("{}\n")}, &Result{ChecksumOK: true}, nil
 	}
@@ -359,7 +359,7 @@ func TestServerDrainDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
 		<-ctx.Done() // wedged until canceled, like a long simulation
 		return nil, nil, ctx.Err()
 	}
@@ -395,7 +395,7 @@ func TestServerDrainDeadline(t *testing.T) {
 func TestHTTPDisconnectCancels(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
 	started := make(chan struct{}, 1)
-	s.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
 		started <- struct{}{}
 		<-ctx.Done()
 		return nil, nil, ctx.Err()
@@ -494,7 +494,7 @@ func TestHTTPAPI(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	started := make(chan struct{}, 4)
-	s.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
 		started <- struct{}{}
 		select {
 		case <-release:
@@ -547,7 +547,7 @@ func TestCacheDiskPersistence(t *testing.T) {
 	s1.Drain(ctx)
 
 	s2 := newTestServer(t, Config{Workers: 1, CacheDir: dir})
-	s2.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
+	s2.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
 		t.Error("restarted server re-simulated a persisted request")
 		return nil, nil, errors.New("unreachable")
 	}

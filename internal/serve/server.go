@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"misp/internal/journal"
 	"misp/internal/obs"
 	"misp/internal/workloads"
 )
@@ -53,6 +56,16 @@ type Job struct {
 	Finished time.Time
 	Wall     time.Duration // host run time (0 for cache hits)
 
+	// Durable-plane state. Attempt counts execution leases taken on
+	// this job (journaled, so it survives restarts); Ckpt is the cycle
+	// of the last persisted mid-run checkpoint; Recovered marks jobs
+	// rebuilt from the journal after a crash; Failure carries the
+	// structured diagnosis when the plane gave up on the job.
+	Attempt   int
+	Ckpt      uint64
+	Recovered bool
+	Failure   *JobError
+
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 	done   chan struct{}
@@ -83,6 +96,29 @@ type Config struct {
 	// RetryAfter is the backpressure hint attached to queue-full
 	// rejections (default 1s).
 	RetryAfter time.Duration
+
+	// JournalDir enables the durable job plane: accepted/started/
+	// checkpointed/terminal transitions are written to a fsync'd
+	// write-ahead journal in this directory and replayed on startup, so
+	// accepted jobs survive SIGKILL ("" = jobs are memory-only).
+	// Mid-run checkpoint images live in the same directory.
+	JournalDir string
+	// CheckpointCycles arms a mid-run checkpoint every N simulated
+	// cycles on run requests (0 = no mid-run checkpoints). Requires
+	// JournalDir.
+	CheckpointCycles uint64
+	// MaxRetries bounds execution leases per job: a job whose attempt
+	// fails (or whose previous lease died with the process) is retried
+	// with jittered exponential backoff until this many attempts have
+	// been burned, then fails with a structured JobError (default 3).
+	MaxRetries int
+	// RetryBackoff is the base delay of the jittered exponential retry
+	// backoff (default 250ms).
+	RetryBackoff time.Duration
+	// JobTimeout is the per-job wall-clock budget measured from
+	// admission; a job still running past it fails with a JobError
+	// (reason deadline-exceeded) rather than retrying (0 = no budget).
+	JobTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -97,6 +133,12 @@ func (c *Config) defaults() {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
 	}
 }
 
@@ -132,8 +174,13 @@ type Server struct {
 	mRejFull   *obs.Counter
 	mRejDrain  *obs.Counter
 	mCoalesced *obs.Counter
+	mRetries   *obs.Counter
 	mWallMS    *obs.Histogram
-	exec       func(ctx context.Context, c *Request) (Artifacts, *Result, error)
+	exec       func(ctx context.Context, j *Job) (Artifacts, *Result, error)
+
+	// jnl is the write-ahead job journal (nil without Config.JournalDir).
+	// Appends fsync outside mu; the journal has its own lock.
+	jnl *journal.Journal
 
 	// warm is the snapshot warm pool shared by every job this server
 	// executes: the first run against a given workload/topology prepares
@@ -144,7 +191,12 @@ type Server struct {
 }
 
 // NewServer builds and starts a server: its workers are running and
-// Submit is live when it returns.
+// Submit is live when it returns. With Config.JournalDir set, the job
+// journal is replayed first — jobs accepted by a previous process that
+// never reached a terminal state are re-enqueued (resuming from their
+// last checkpoint), deduped against the result cache, or failed with a
+// recorded diagnosis when their retry budget is spent — and the journal
+// is compacted by atomic rotation before any new work is admitted.
 func NewServer(cfg Config) (*Server, error) {
 	cfg.defaults()
 	cache, err := NewCache(cfg.CacheDir)
@@ -157,13 +209,10 @@ func NewServer(cfg Config) (*Server, error) {
 		start:    time.Now(),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
-		queue:    make(chan *Job, cfg.QueueDepth),
 		reg:      obs.NewRegistry(),
 		warm:     workloads.NewWarmPool(),
 	}
-	s.exec = func(ctx context.Context, c *Request) (Artifacts, *Result, error) {
-		return ExecuteWarm(ctx, c, s.warm)
-	}
+	s.exec = s.executeJob
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	s.mSubmitted = s.reg.Counter("serve.jobs.submitted")
 	s.mCompleted = s.reg.Counter("serve.jobs.completed")
@@ -172,14 +221,79 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mRejFull = s.reg.Counter("serve.rejected.queue_full")
 	s.mRejDrain = s.reg.Counter("serve.rejected.draining")
 	s.mCoalesced = s.reg.Counter("serve.jobs.coalesced")
+	s.mRetries = s.reg.Counter("serve.jobs.retries")
 	s.reg.Counter("serve.cache.hits")
 	s.reg.Counter("serve.cache.misses")
+	for _, name := range []string{
+		"serve.journal.appends", "serve.journal.append_errors",
+		"serve.journal.replayed", "serve.journal.torn_bytes", "serve.journal.rotations",
+		"serve.resume.jobs", "serve.resume.deduped", "serve.resume.failed",
+		"serve.resume.checkpoints", "serve.resume.restores", "serve.resume.corrupt",
+	} {
+		s.reg.Counter(name)
+	}
 	s.mWallMS = s.reg.Histogram("serve.job.wall_ms")
+
+	var recovered []*Job
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: journal dir: %w", err)
+		}
+		jnl, payloads, err := journal.Open(filepath.Join(cfg.JournalDir, "journal.wal"))
+		if err != nil {
+			return nil, fmt.Errorf("serve: journal: %w", err)
+		}
+		s.jnl = jnl
+		s.reg.Counter("serve.journal.torn_bytes").Set(uint64(jnl.TornTail()))
+		recovered = s.recover(payloads)
+		if err := jnl.Rotate(s.compactionRecords()); err != nil {
+			return nil, fmt.Errorf("serve: journal compaction: %w", err)
+		}
+		s.reg.Counter("serve.journal.rotations").Inc()
+	}
+	// The queue must absorb every recovered job on top of the
+	// configured admission bound, or recovery could deadlock on its own
+	// backlog before the workers exist.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.queue <- j
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// executeJob is the default execution path: the warm pool composed
+// with, when the durable plane is configured, periodic mid-run
+// checkpoints journaled per image.
+func (s *Server) executeJob(ctx context.Context, j *Job) (Artifacts, *Result, error) {
+	if s.jnl == nil || s.cfg.CheckpointCycles == 0 {
+		return ExecuteWarm(ctx, j.Req, s.warm)
+	}
+	cs := &CheckpointSpec{
+		Dir:   s.cfg.JournalDir,
+		Every: s.cfg.CheckpointCycles,
+		OnCheckpoint: func(cycle uint64) {
+			s.mu.Lock()
+			j.Ckpt = cycle
+			s.reg.Counter("serve.resume.checkpoints").Inc()
+			s.mu.Unlock()
+			s.journalAppend(jrec{Op: opCheckpoint, ID: j.ID, Cycle: cycle})
+		},
+		OnRestore: func(cycle uint64) {
+			s.mu.Lock()
+			s.reg.Counter("serve.resume.restores").Inc()
+			s.mu.Unlock()
+		},
+		OnCorrupt: func(error) {
+			s.mu.Lock()
+			s.reg.Counter("serve.resume.corrupt").Inc()
+			s.mu.Unlock()
+		},
+	}
+	return ExecuteCheckpointed(ctx, j.Req, s.warm, cs)
 }
 
 // RetryAfter is the configured backpressure hint.
@@ -207,10 +321,29 @@ func (s *Server) Submit(req *Request, detached bool) (*Job, error) {
 	key := c.Key()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	j, fresh, err := s.admitLocked(c, key, detached)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// The accepted record is written after the queue send but before
+	// Submit returns: a 202 implies the job is durable. Rejections are
+	// never journaled (nothing was promised), and the fsync happens
+	// outside mu. Cache hits and coalesced submissions are not fresh
+	// work, so they carry no accepted record either.
+	if fresh {
+		s.journalAppend(jrec{Op: opAccepted, ID: j.ID, Key: key, Req: c})
+	}
+	return j, nil
+}
+
+// admitLocked is Submit's admission decision. It returns fresh=true
+// only for a newly queued job (the caller journals those). Called with
+// mu held.
+func (s *Server) admitLocked(c *Request, key string, detached bool) (*Job, bool, error) {
 	if s.draining {
 		s.mRejDrain.Inc()
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
 
 	// Single-flight: piggyback on an identical in-flight job.
@@ -219,7 +352,7 @@ func (s *Server) Submit(req *Request, detached bool) (*Job, error) {
 		if detached {
 			j.detached = true
 		}
-		return j, nil
+		return j, false, nil
 	}
 
 	// Cache: an identical completed request is served without touching
@@ -233,7 +366,7 @@ func (s *Server) Submit(req *Request, detached bool) (*Job, error) {
 		close(j.done)
 		s.mSubmitted.Inc()
 		s.mCompleted.Inc()
-		return j, nil
+		return j, false, nil
 	}
 
 	// Admission: accept only if the bounded queue has room.
@@ -244,12 +377,12 @@ func (s *Server) Submit(req *Request, detached bool) (*Job, error) {
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
 		s.mRejFull.Inc()
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	j.Status = StatusQueued
 	s.inflight[key] = j
 	s.mSubmitted.Inc()
-	return j, nil
+	return j, true, nil
 }
 
 // newJobLocked allocates and registers a job record. Called with mu
@@ -344,19 +477,74 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob drives one job through execution and settles its record.
+// runJob drives one job through execution and settles its record. Each
+// execution attempt is a journaled lease (a started record with the
+// attempt number): if the process dies mid-attempt, replay sees the
+// burned lease and either retries with the remaining budget or fails
+// the job. In-process failures retry with jittered exponential backoff
+// until MaxRetries attempts are spent, then settle as a structured
+// JobError; cancellation and deadline expiry are never retried.
 func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	if err := context.Cause(j.ctx); err != nil {
 		s.settleLocked(j, nil, err)
 		s.mu.Unlock()
+		s.journalTerminal(j)
 		return
 	}
 	j.Status = StatusRunning
 	j.Started = time.Now()
 	s.mu.Unlock()
 
-	art, res, err := s.exec(j.ctx, j.Req)
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		// The budget runs from admission, so time spent queued (or in a
+		// previous incarnation of the process) counts against it. The
+		// deadline cause carries the structured diagnosis.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadlineCause(j.ctx, j.Created.Add(s.cfg.JobTimeout),
+			&JobError{ID: j.ID, Key: j.Key, Reason: ReasonDeadline})
+		defer cancel()
+	}
+
+	var (
+		art     Artifacts
+		res     *Result
+		err     error
+		attempt int
+	)
+	for {
+		s.mu.Lock()
+		j.Attempt++
+		attempt = j.Attempt
+		if attempt > 1 {
+			s.mRetries.Inc()
+		}
+		s.mu.Unlock()
+		s.journalAppend(jrec{Op: opStarted, ID: j.ID, Attempt: attempt})
+
+		art, res, err = s.exec(ctx, j)
+		if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		if attempt >= s.cfg.MaxRetries {
+			err = &JobError{ID: j.ID, Key: j.Key, Reason: ReasonRetries, Attempts: attempt, Err: err}
+			break
+		}
+		if !sleepBackoff(ctx, s.cfg.RetryBackoff, attempt) {
+			err = context.Cause(ctx)
+			break
+		}
+	}
+	// Surface the per-job deadline as its JobError cause (set above as
+	// the WithDeadlineCause cause) rather than the bare ctx error.
+	if errors.Is(err, context.DeadlineExceeded) {
+		var je *JobError
+		if errors.As(context.Cause(ctx), &je) {
+			je.Attempts = attempt
+			err = je
+		}
+	}
 	wall := time.Since(j.Started)
 
 	var putErr error
@@ -373,6 +561,7 @@ func (s *Server) runJob(j *Job) {
 	s.settleLocked(j, res, err)
 	s.mWallMS.Observe(uint64(wall.Milliseconds()))
 	s.mu.Unlock()
+	s.journalTerminal(j)
 }
 
 // settleLocked moves a job to its terminal status. Called with mu
@@ -381,11 +570,19 @@ func (s *Server) settleLocked(j *Job, res *Result, err error) {
 	if j.Status.Terminal() {
 		return
 	}
+	var je *JobError
 	switch {
 	case err == nil:
 		j.Status = StatusDone
 		j.Result = res
 		s.mCompleted.Inc()
+	case errors.As(err, &je):
+		// The durable plane's verdict (retries exhausted, deadline hit)
+		// outranks the cancellation sentinels it may wrap.
+		j.Status = StatusFailed
+		j.Failure = je
+		j.Err = je.Error()
+		s.mFailed.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.Status = StatusCanceled
 		j.Err = fmt.Sprint(err)
@@ -456,6 +653,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-workersDone:
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 	}
@@ -465,7 +663,16 @@ func (s *Server) Drain(ctx context.Context) error {
 	// second wait is prompt.
 	s.baseCancel(fmt.Errorf("serve: drain deadline exceeded: %w", context.Cause(ctx)))
 	<-workersDone
+	s.closeJournal()
 	return ctx.Err()
+}
+
+// closeJournal releases the journal handle after the last worker has
+// written its terminal records. Idempotent; nil-safe.
+func (s *Server) closeJournal() {
+	if s.jnl != nil {
+		s.jnl.Close()
+	}
 }
 
 // Metrics renders the service metrics registry plus the live gauges

@@ -23,6 +23,7 @@ package snap
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"misp/internal/core"
 	"misp/internal/kernel"
@@ -112,14 +113,36 @@ func (s *Snapshot) Fork(override func(*core.Config)) (*core.Machine, *kernel.Ker
 	return m, k, nil
 }
 
-// SaveFile writes the image to path (atomic enough for crash-resume:
-// written to a temp name, then renamed).
+// SaveFile writes the image to path, crash-safely: the bytes are
+// fsync'd under a temp name, renamed into place, and the directory is
+// fsync'd so a SIGKILL right after SaveFile returns still finds the
+// complete image (or the complete previous one — never a torn mix).
 func (s *Snapshot) SaveFile(path string) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, s.buf, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(s.buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadFile reads and validates an image from path.
