@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck faultcheck servecheck snapcheck crashcheck
+.PHONY: build vet test race smoke verify bench ci benchcore benchgate paracheck faultcheck servecheck snapcheck crashcheck soakcheck
 
 build:
 	$(GO) build ./...
@@ -104,5 +104,16 @@ crashcheck:
 		./internal/serve/
 	bash scripts/crash_smoke.sh
 
+# soakcheck is the overload-robustness gate: the governance unit tests
+# (drain estimator, pressure escalation, victim selection, preempt/
+# resume byte-identity, client breaker) under -race, then the overload
+# smoke — flood a small-budget daemon with distinct tiny runs and
+# assert it sheds with computed Retry-After hints, loses nothing it
+# accepted, stays alive, and still drains cleanly on SIGTERM.
+soakcheck:
+	$(GO) test -race -run 'TestDrainEstimator|TestPressure|TestShedByLane|TestOverBudget|TestCommitment|TestHealthzProbes|TestLaneQueue|TestBetterVictim|TestPickVictim|TestPreempt|TestRequeue|TestBreaker|TestRetryJitter|TestStatusHedged' \
+		./internal/serve/
+	bash scripts/overload_smoke.sh
+
 # ci is the full gate run by the GitHub Actions workflow.
-ci: build vet test race smoke benchgate paracheck faultcheck servecheck snapcheck crashcheck
+ci: build vet test race smoke benchgate paracheck faultcheck servecheck snapcheck crashcheck soakcheck

@@ -9,11 +9,19 @@
 //
 //	mispserve [-addr :8077] [-queue 64] [-workers N] [-cachedir DIR] [-drain 30s]
 //	          [-journal DIR] [-checkpoint-cycles N] [-max-retries N] [-job-timeout D]
-//	mispserve submit -app dense_mmm [-size test] [-wait] [-server URL] [flags...]
+//	          [-mem-budget 2g]
+//	mispserve submit -app dense_mmm [-size test] [-priority interactive] [-wait] [-server URL] [flags...]
 //	mispserve submit -sweep -exp table1 [-apps a,b] [-wait] [-server URL]
-//	mispserve status [-id JOB | -list] [-server URL]
+//	mispserve status [-id JOB | -list] [-hedge 2s] [-server URL]
 //	mispserve fetch -id JOB -name table1.csv [-o FILE] [-server URL]
 //	mispserve -version
+//
+// With -mem-budget the daemon governs its memory: admissions carry
+// resource budgets, a pressure monitor sheds load as the heap climbs
+// toward the budget, and at the critical watermark the largest running
+// job is checkpoint-preempted instead of letting the host OOM.
+// /healthz/live and /healthz/ready split liveness from readiness for
+// load balancers.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: admission closes at
 // once, accepted jobs finish (or are cleanly canceled when -drain
@@ -65,11 +73,16 @@ func daemon() {
 	ckptCycles := flag.Uint64("checkpoint-cycles", 0, "checkpoint running simulations every N simulated cycles (0 = off; needs -journal)")
 	maxRetries := flag.Int("max-retries", 0, "execution attempts per job before it fails with a diagnosis (0 = default 3)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock budget from admission (0 = unlimited)")
+	memBudget := flag.String("mem-budget", "", "host heap budget enabling resource governance, e.g. 512m or 2g (default: off)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String())
 		return
+	}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		fatal(err)
 	}
 
 	srv, err := serve.NewServer(serve.Config{
@@ -80,6 +93,10 @@ func daemon() {
 		CheckpointCycles: *ckptCycles,
 		MaxRetries:       *maxRetries,
 		JobTimeout:       *jobTimeout,
+		MemBudget:        budget,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mispserve: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -126,6 +143,31 @@ func daemon() {
 	fmt.Println("mispserve: drained cleanly")
 }
 
+// parseBytes reads a human byte size ("512m", "2g", "1048576"; k/m/g/t
+// suffixes are binary). "" means 0 (governance off).
+func parseBytes(s string) (uint64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, nil
+	}
+	shift := 0
+	switch s[len(s)-1] {
+	case 'k':
+		shift, s = 10, s[:len(s)-1]
+	case 'm':
+		shift, s = 20, s[:len(s)-1]
+	case 'g':
+		shift, s = 30, s[:len(s)-1]
+	case 't':
+		shift, s = 40, s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 512m, 2g)", s)
+	}
+	return n << shift, nil
+}
+
 // --- client mode ------------------------------------------------------
 
 // newClient builds the CLI's client with its resilience loop: transient
@@ -156,6 +198,7 @@ func clientSubmit(args []string) {
 	faultKinds := fs.String("faultkinds", "", "comma-separated fault kinds")
 	trace := fs.Bool("trace", false, "run: record the Chrome trace artifact")
 	parallel := fs.Int("parallel", 0, "host workers inside the job (sweep fan-out)")
+	priority := fs.String("priority", "", "queue lane: interactive or batch (default)")
 	wait := fs.Bool("wait", false, "block until the job completes")
 	fs.Parse(args)
 
@@ -168,6 +211,7 @@ func clientSubmit(args []string) {
 		FaultPeriod: *faultPeriod,
 		Trace:       *trace,
 		Parallel:    *parallel,
+		Priority:    *priority,
 		Seqs:        *seqs,
 		Exp:         *expName,
 	}
@@ -209,6 +253,7 @@ func clientStatus(args []string) {
 	list := fs.Bool("list", false, "list every job")
 	wait := fs.Bool("wait", false, "block until the job completes")
 	retries := fs.Int("retries", 3, "attempts for transient errors and backpressure (1 = no retry)")
+	hedge := fs.Duration("hedge", 0, "fire a second status request if the first hasn't answered in this long (0 = off)")
 	fs.Parse(args)
 
 	cl := newClient(*server, *retries)
@@ -222,7 +267,7 @@ func clientStatus(args []string) {
 		}
 		return
 	}
-	view, err := cl.Status(context.Background(), *id, *wait)
+	view, err := cl.StatusHedged(context.Background(), *id, *wait, *hedge)
 	if err != nil {
 		fatal(err)
 	}
@@ -265,7 +310,13 @@ func printView(v *serve.JobView) {
 	if v.Recovered {
 		fmt.Print("  [recovered]")
 	}
+	if v.Preempted {
+		fmt.Print("  [preempted]")
+	}
 	fmt.Println()
+	if v.Preempts > 0 {
+		fmt.Printf("preempts %d\n", v.Preempts)
+	}
 	fmt.Printf("key      %s\n", v.Key)
 	if v.Error != "" {
 		fmt.Printf("error    %s\n", v.Error)

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// heapObjectsMetric is the runtime/metrics name for live + not-yet-swept
+// heap object bytes — the quantity a host pressure monitor cares about:
+// it covers both resident simulation state and garbage the collector has
+// not reclaimed yet, which is exactly the memory that can OOM-kill the
+// process if left to grow.
+const heapObjectsMetric = "/memory/classes/heap/objects:bytes"
+
+// HostHeapBytes reads the Go heap's object bytes from runtime/metrics.
+// It is a host-side observation (cf. the host.* metrics section): it
+// must never feed an identity surface, only operational decisions like
+// overload shedding. Falls back to MemStats.HeapAlloc if the metric is
+// unavailable (it is supported on every Go version this module builds
+// with, but a rename should degrade, not panic).
+func HostHeapBytes() uint64 {
+	s := []metrics.Sample{{Name: heapObjectsMetric}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

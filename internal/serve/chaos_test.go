@@ -57,6 +57,10 @@ func TestChaosSeededKills(t *testing.T) {
 			cfg := Config{
 				Workers: 2, JournalDir: jdir, CacheDir: cdir,
 				CheckpointCycles: runCycles / 3,
+				// Governance armed but quiescent (heap ≪ budget): the
+				// preemption plumbing is live without pressure shedding, so
+				// seeds can inject preemptions explicitly.
+				MemBudget: 1 << 40,
 			}
 			s1, err := NewServer(cfg)
 			if err != nil {
@@ -71,8 +75,17 @@ func TestChaosSeededKills(t *testing.T) {
 				ids[j.ID] = true
 			}
 			// The seeded kill point: anywhere from "barely admitted" to
-			// "probably finished".
-			time.Sleep(time.Duration(rng.Intn(250)) * time.Millisecond)
+			// "probably finished". Even seeds also request a cooperative
+			// preemption partway there, so the journal the successor
+			// replays can contain preempted records (including the crash
+			// landing while a preempted job sits queued behind its image).
+			if seed%2 == 0 {
+				time.Sleep(time.Duration(rng.Intn(125)) * time.Millisecond)
+				s1.preemptLargest()
+				time.Sleep(time.Duration(rng.Intn(125)) * time.Millisecond)
+			} else {
+				time.Sleep(time.Duration(rng.Intn(250)) * time.Millisecond)
+			}
 			crash(s1)
 
 			s2, err := NewServer(cfg)

@@ -25,12 +25,16 @@ import (
 // the journal so a restarted daemon resumes long runs mid-flight.
 
 // Journal record operations. A job's journaled life is
-// accepted → started* → checkpoint* → (done | failed | canceled);
-// replay reduces that history to a live or terminal job record.
+// accepted → (started | checkpoint | preempted)* →
+// (done | failed | canceled); replay reduces that history to a live or
+// terminal job record. A preempted record marks a job parked back in
+// the queue behind a persisted image; a later started record marks the
+// resume lease.
 const (
 	opAccepted   = "accepted"
 	opStarted    = "started"
 	opCheckpoint = "checkpoint"
+	opPreempted  = "preempted"
 	opDone       = "done"
 	opFailed     = "failed"
 	opCanceled   = "canceled"
@@ -42,16 +46,17 @@ const (
 // form: rotation folds a job's attempt count and last checkpoint back
 // into it so a compacted journal replays to the same state.
 type jrec struct {
-	Op      string   `json:"op"`
-	ID      string   `json:"id"`
-	Key     string   `json:"key,omitempty"`
-	Req     *Request `json:"req,omitempty"`
-	Attempt int      `json:"attempt,omitempty"`
-	Cycle   uint64   `json:"cycle,omitempty"`
-	Error   string   `json:"error,omitempty"`
+	Op        string   `json:"op"`
+	ID        string   `json:"id"`
+	Key       string   `json:"key,omitempty"`
+	Req       *Request `json:"req,omitempty"`
+	Attempt   int      `json:"attempt,omitempty"`
+	Cycle     uint64   `json:"cycle,omitempty"`
+	Error     string   `json:"error,omitempty"`
+	Preempted bool     `json:"preempted,omitempty"` // accepted (compaction fold) only
 }
 
-// JobError failure reasons.
+// JobError failure reasons. ReasonBudget lives in governor.go.
 const (
 	ReasonRetries  = "retries-exhausted"
 	ReasonDeadline = "deadline-exceeded"
@@ -65,7 +70,7 @@ const (
 type JobError struct {
 	ID       string
 	Key      string
-	Reason   string // ReasonRetries or ReasonDeadline
+	Reason   string // ReasonRetries, ReasonDeadline, or ReasonBudget
 	Attempts int
 	Err      error // last attempt's error (nil when recovered from the journal)
 }
@@ -125,11 +130,12 @@ func (s *Server) journalTerminal(j *Job) {
 
 // replayJob is one job's state reduced from the journal.
 type replayJob struct {
-	rec      jrec // the accepted record
-	attempts int
-	ckpt     uint64
-	terminal string // terminal op, "" while live
-	errStr   string
+	rec       jrec // the accepted record
+	attempts  int
+	ckpt      uint64
+	preempted bool   // last lease ended in preemption (no started since)
+	terminal  string // terminal op, "" while live
+	errStr    string
 }
 
 // jobSeq extracts the numeric sequence from a job ID ("j17-abcd…" →
@@ -163,7 +169,7 @@ func (s *Server) recover(payloads [][]byte) []*Job {
 		if _, dup := states[r.ID]; dup {
 			continue
 		}
-		states[r.ID] = &replayJob{rec: r, attempts: r.Attempt, ckpt: r.Cycle}
+		states[r.ID] = &replayJob{rec: r, attempts: r.Attempt, ckpt: r.Cycle, preempted: r.Preempted}
 		order = append(order, r.ID)
 	}
 	replayed := 0
@@ -182,7 +188,13 @@ func (s *Server) recover(payloads [][]byte) []*Job {
 			if r.Attempt > st.attempts {
 				st.attempts = r.Attempt
 			}
+			st.preempted = false // a resume lease took over
 		case opCheckpoint:
+			if r.Cycle > st.ckpt {
+				st.ckpt = r.Cycle
+			}
+		case opPreempted:
+			st.preempted = true
 			if r.Cycle > st.ckpt {
 				st.ckpt = r.Cycle
 			}
@@ -209,10 +221,16 @@ func (s *Server) recover(payloads [][]byte) []*Job {
 			ID:        id,
 			Key:       c.Key(),
 			Req:       c,
+			Lane:      laneOf(c),
 			Created:   time.Now(),
 			Attempt:   st.attempts,
 			Ckpt:      st.ckpt,
 			Recovered: true,
+			// A job parked by preemption at crash time was not mid-lease:
+			// its next lease resumes the old attempt rather than burning a
+			// new one, exactly as it would have in the dead process.
+			Preempted: st.preempted,
+			resume:    st.preempted,
 			done:      make(chan struct{}),
 			detached:  true, // whoever was waiting died with the old process
 		}
@@ -252,6 +270,10 @@ func (s *Server) recover(payloads [][]byte) []*Job {
 		default:
 			j.Status = StatusQueued
 			s.inflight[j.Key] = j
+			if s.governed() {
+				j.Budget = estimateBudget(c)
+				s.committed += j.Budget.EstBytes
+			}
 			s.reg.Counter("serve.resume.jobs").Inc()
 			enqueue = append(enqueue, j)
 		}
@@ -273,7 +295,7 @@ func (s *Server) compactionRecords() [][]byte {
 	}
 	for _, id := range s.order {
 		j := s.jobs[id]
-		put(jrec{Op: opAccepted, ID: j.ID, Key: j.Key, Req: j.Req, Attempt: j.Attempt, Cycle: j.Ckpt})
+		put(jrec{Op: opAccepted, ID: j.ID, Key: j.Key, Req: j.Req, Attempt: j.Attempt, Cycle: j.Ckpt, Preempted: j.Preempted})
 		switch j.Status {
 		case StatusDone:
 			put(jrec{Op: opDone, ID: j.ID})
@@ -304,19 +326,48 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
 	}
 }
 
+// ErrPreempted reports that a run yielded cooperatively at a quiescent
+// pause boundary after a preemption request: its image is persisted (or
+// an older image remains usable) and the caller must re-enqueue the job
+// to resume later. Never returned for completed or failed runs.
+var ErrPreempted = errors.New("serve: job preempted at quiescent boundary")
+
 // CheckpointSpec configures ExecuteCheckpointed: where images live,
-// how often they are taken, and the hooks the server uses to journal
-// and count checkpoint traffic. The zero value disables checkpointing.
+// how often they are taken, the preemption poll, and the hooks the
+// server uses to journal and count checkpoint traffic. The zero value
+// disables checkpointing.
 type CheckpointSpec struct {
 	Dir   string // checkpoint images live here, next to the journal
 	Every uint64 // simulated cycles between checkpoints (0 = off)
+
+	// Quantum is the pause-slice cadence in simulated cycles: the run
+	// reaches a quiescent boundary at least this often and polls Preempt
+	// there. 0 falls back to Every (pause only at checkpoint boundaries).
+	Quantum uint64
+	// Preempt is polled at every quiescent boundary; returning true
+	// persists an image at the current cycle and aborts the lease with
+	// ErrPreempted. nil never preempts.
+	Preempt func() bool
+	// MaxCycles tightens the machine's cycle-limit abort to the job's
+	// admission budget (0 = leave the workload default).
+	MaxCycles uint64
 
 	OnCheckpoint func(cycle uint64) // after an image is durably persisted
 	OnRestore    func(cycle uint64) // resumed from an image at this cycle
 	OnCorrupt    func(err error)    // an unusable image was discarded
 }
 
-func (cs *CheckpointSpec) enabled() bool { return cs != nil && cs.Dir != "" && cs.Every > 0 }
+func (cs *CheckpointSpec) enabled() bool {
+	return cs != nil && cs.Dir != "" && (cs.Every > 0 || (cs.Quantum > 0 && cs.Preempt != nil))
+}
+
+// stride is the pause cadence: the tighter of Quantum and Every.
+func (cs *CheckpointSpec) stride() uint64 {
+	if cs.Quantum > 0 && (cs.Every == 0 || cs.Quantum < cs.Every) {
+		return cs.Quantum
+	}
+	return cs.Every
+}
 
 // checkpointPath is the image location for one canonical request. Keyed
 // on the cache key: execution-only knobs are run-only config, so an
@@ -345,6 +396,12 @@ func ExecuteCheckpointed(ctx context.Context, c *Request, warm *workloads.WarmPo
 	w, size, cfg, err := runSetup(c)
 	if err != nil {
 		return nil, nil, err
+	}
+	if cs.MaxCycles > 0 && (cfg.MaxCycles == 0 || cs.MaxCycles < cfg.MaxCycles) {
+		// The admission cycle budget composes with the workload's own
+		// deadlock guard: whichever is tighter aborts the run (MaxCycles
+		// is run-only config, so this never perturbs image identity).
+		cfg.MaxCycles = cs.MaxCycles
 	}
 
 	ckpt := cs.path(c.Key())
@@ -375,9 +432,19 @@ func ExecuteCheckpointed(ctx context.Context, c *Request, warm *workloads.WarmPo
 		}
 	}
 
+	// The run proceeds in pause slices: every stride() cycles the machine
+	// stops at a quiescent boundary, where the loop checks the preemption
+	// poll and the checkpoint cadence. Preemption forces an image at the
+	// current cycle and aborts the lease with ErrPreempted — even when
+	// the capture fails, since the previous image (or a cold start) still
+	// resumes to byte-identical artifacts; only the paid cycles are lost.
 	var res *workloads.RunResult
+	var nextCkpt uint64
+	if cs.Every > 0 {
+		nextCkpt = pr.Machine.MaxClock() + cs.Every
+	}
 	for {
-		pr.Machine.SetPause(pr.Machine.MaxClock() + cs.Every)
+		pr.Machine.SetPause(pr.Machine.MaxClock() + cs.stride())
 		res, err = pr.RunCtx(ctx)
 		if err == nil {
 			break
@@ -387,13 +454,23 @@ func ExecuteCheckpointed(ctx context.Context, c *Request, warm *workloads.WarmPo
 			// resumes from it instead of repaying the simulated cycles.
 			return nil, nil, err
 		}
-		img, cerr := snap.Capture(pr.Machine, pr.Kernel)
-		if cerr != nil {
-			// A failed capture degrades the checkpoint cadence, not the run.
-			continue
+		clock := pr.Machine.MaxClock()
+		preempt := cs.Preempt != nil && cs.Preempt()
+		if preempt || (cs.Every > 0 && clock >= nextCkpt) {
+			img, cerr := snap.Capture(pr.Machine, pr.Kernel)
+			if cerr == nil {
+				// A failed capture degrades the checkpoint cadence (or the
+				// preemption resume point), never the run.
+				if serr := img.SaveFile(ckpt); serr == nil && cs.OnCheckpoint != nil {
+					cs.OnCheckpoint(clock)
+				}
+			}
+			for nextCkpt != 0 && nextCkpt <= clock {
+				nextCkpt += cs.Every
+			}
 		}
-		if serr := img.SaveFile(ckpt); serr == nil && cs.OnCheckpoint != nil {
-			cs.OnCheckpoint(pr.Machine.MaxClock())
+		if preempt {
+			return nil, nil, ErrPreempted
 		}
 	}
 	pr.Machine.SetPause(0)

@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quietGovernor returns governance config knobs that arm the admission
+// checks but keep the background monitor from ever ticking, so tests
+// drive governTick (or the pressure level directly) deterministically.
+const quietTick = time.Hour
+
+// --- drain estimator --------------------------------------------------
+
+// TestDrainEstimatorTable pins the Retry-After estimate down case by
+// case: ceil-ish scaling of the average wall time by queue depth over
+// workers, floored at the configured hint and 1s, capped at
+// maxRetryAfter (the satellite contract: queue-full 429s report the
+// estimated drain time, never below the configured floor).
+func TestDrainEstimatorTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		avg     time.Duration
+		queued  int
+		workers int
+		floor   time.Duration
+		want    time.Duration
+	}{
+		{"no-data-floor", 0, 10, 2, 3 * time.Second, 3 * time.Second},
+		{"no-data-min-1s", 0, 10, 2, 0, time.Second},
+		{"scales-by-depth", 2 * time.Second, 3, 2, time.Second, 4 * time.Second},
+		{"divides-by-workers", 2 * time.Second, 7, 4, time.Second, 4 * time.Second},
+		{"below-floor-clamps", 2 * time.Second, 0, 4, time.Second, time.Second},
+		{"caps-at-max", time.Hour, 100, 1, time.Second, maxRetryAfter},
+		{"zero-workers-as-one", 2 * time.Second, 1, 0, time.Second, 4 * time.Second},
+		{"negative-queue-as-empty", 2 * time.Second, -5, 1, time.Second, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e drainEstimator
+			if tc.avg > 0 {
+				e.observe(tc.avg) // first sample seeds the average exactly
+			}
+			if got := e.estimate(tc.queued, tc.workers, tc.floor); got != tc.want {
+				t.Fatalf("estimate(%d, %d, %v) with avg %v = %v, want %v",
+					tc.queued, tc.workers, tc.floor, tc.avg, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDrainEstimatorEWMA: the moving average seeds on the first sample
+// and then folds with alpha 1/4, so one outlier moves the hint without
+// owning it.
+func TestDrainEstimatorEWMA(t *testing.T) {
+	var e drainEstimator
+	e.observe(4 * time.Second)
+	if got := e.avgWall(); got != 4*time.Second {
+		t.Fatalf("after first sample avg = %v, want 4s", got)
+	}
+	e.observe(8 * time.Second) // 4 + (8-4)/4 = 5
+	if got := e.avgWall(); got != 5*time.Second {
+		t.Fatalf("after second sample avg = %v, want 5s", got)
+	}
+	e.observe(0) // non-positive samples are ignored
+	if got := e.avgWall(); got != 5*time.Second {
+		t.Fatalf("zero sample moved avg to %v", got)
+	}
+}
+
+// TestDrainEstimatorMonotone: a deeper queue never promises a faster
+// retry — the estimate is nondecreasing in queue depth.
+func TestDrainEstimatorMonotone(t *testing.T) {
+	var e drainEstimator
+	e.observe(1500 * time.Millisecond)
+	prev := time.Duration(0)
+	for queued := 0; queued <= 64; queued++ {
+		got := e.estimate(queued, 2, time.Second)
+		if got < prev {
+			t.Fatalf("estimate decreased at depth %d: %v < %v", queued, got, prev)
+		}
+		prev = got
+	}
+}
+
+// --- budget estimation ------------------------------------------------
+
+// TestEstimateBudget checks the admission-time envelope: a run is sized
+// by its config's physical memory plus the per-machine overhead, a
+// sweep by its effective width, and the cycle/wall allowances follow
+// the declared size class.
+func TestEstimateBudget(t *testing.T) {
+	run := mustCanonical(t, tinyRun())
+	cfg, err := run.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := estimateBudget(run)
+	if want := cfg.PhysMem + estMachineOverhead; b.EstBytes != want {
+		t.Fatalf("run EstBytes = %d, want %d (physmem + overhead)", b.EstBytes, want)
+	}
+	if b.MaxCycles == 0 || b.MaxWall == 0 {
+		t.Fatalf("run budget leaves cycles/wall unbounded: %+v", b)
+	}
+	small := mustCanonical(t, &Request{Kind: KindRun, App: "dense_mmm", Size: "small", Topology: []int{3}})
+	bs := estimateBudget(small)
+	if bs.MaxCycles <= b.MaxCycles || bs.MaxWall <= b.MaxWall {
+		t.Fatalf("small budget (%+v) not looser than test budget (%+v)", bs, b)
+	}
+
+	sweep := mustCanonical(t, &Request{Kind: KindSweep, Apps: []string{"dense_mmm"}, Size: "test", Seqs: 2, Exp: "table1", Parallel: 2})
+	sb := estimateBudget(sweep)
+	perMachine := b.EstBytes // same default physmem per machine
+	if want := 2 * perMachine; sb.EstBytes != want {
+		t.Fatalf("sweep(width 2) EstBytes = %d, want %d", sb.EstBytes, want)
+	}
+	if sb.MaxCycles != 0 {
+		t.Fatalf("sweep budget set a cycle cap (%d); cycles are per machine, not per sweep", sb.MaxCycles)
+	}
+	if sb.MaxWall == 0 {
+		t.Fatal("sweep budget leaves wall time unbounded")
+	}
+	// Width caps at the grid: one app is 3 points (1P/MISP/SMP), so a
+	// huge Parallel must not inflate the estimate past 3 machines.
+	wide := mustCanonical(t, &Request{Kind: KindSweep, Apps: []string{"dense_mmm"}, Size: "test", Seqs: 2, Exp: "table1", Parallel: 64})
+	if wb := estimateBudget(wide); wb.EstBytes != 3*perMachine {
+		t.Fatalf("sweep(width 64, 3 points) EstBytes = %d, want %d", wb.EstBytes, 3*perMachine)
+	}
+}
+
+// --- pressure monitor -------------------------------------------------
+
+// TestPressureEscalation drives the monitor synchronously through the
+// watermarks with an injected heap reader and checks the level ladder,
+// the batch-lane hold at critical, the transition metrics, and the log
+// lines.
+func TestPressureEscalation(t *testing.T) {
+	var logs []string
+	s := newTestServer(t, Config{
+		Workers: 1, MemBudget: 1000, PressureTick: quietTick,
+		Logf: func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) },
+	})
+	heap := uint64(0)
+	s.heapBytes = func() uint64 { return heap }
+
+	steps := []struct {
+		heap uint64
+		want pressureLevel
+		held bool
+	}{
+		{0, pressureNominal, false},
+		{699, pressureNominal, false},
+		{700, pressureShed, false},  // 0.70 × 1000
+		{850, pressureBrownout, false}, // 0.85 × 1000
+		{950, pressureCritical, true},  // 0.95 × 1000
+		{100, pressureNominal, false},  // recovery releases the hold
+	}
+	for _, st := range steps {
+		heap = st.heap
+		s.governTick()
+		if got := s.level(); got != st.want {
+			t.Fatalf("heap %d: level = %s, want %s", st.heap, got, st.want)
+		}
+		if got := s.queue.held(); got != st.held {
+			t.Fatalf("heap %d: batch hold = %v, want %v", st.heap, got, st.held)
+		}
+	}
+	if got := s.reg.CounterValue("serve.pressure.transitions"); got != 4 {
+		t.Fatalf("serve.pressure.transitions = %d, want 4", got)
+	}
+	if got := s.reg.CounterValue("serve.pressure.brownouts"); got != 1 {
+		t.Fatalf("serve.pressure.brownouts = %d, want 1", got)
+	}
+	if got := s.reg.CounterValue("serve.pressure.heap_bytes"); got != 100 {
+		t.Fatalf("serve.pressure.heap_bytes gauge = %d, want last reading 100", got)
+	}
+	joined := strings.Join(logs, "\n")
+	for _, want := range []string{"nominal -> shed", "shed -> brownout", "brownout -> critical", "critical -> nominal"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("logs missing transition %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestShedByLane: at the shed watermark batch admissions bounce with
+// ErrPressure while interactive ones still land; at brownout everything
+// fresh is shed. Cache hits and coalesced submissions are never shed —
+// they cost no new memory.
+func TestShedByLane(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MemBudget: 1 << 30, PressureTick: quietTick})
+	block := make(chan struct{})
+	defer close(block)
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return Artifacts{"summary.json": []byte("{}")}, &Result{ChecksumOK: true}, nil
+	}
+
+	s.pressure.Store(int32(pressureShed))
+	batch := &Request{Kind: KindRun, App: "dense_mmm", Size: "test", Topology: []int{2}}
+	if _, err := s.Submit(batch, true); !errors.Is(err, ErrPressure) {
+		t.Fatalf("batch admission at shed level: err = %v, want ErrPressure", err)
+	}
+	inter := &Request{Kind: KindRun, App: "dense_mmm", Size: "test", Topology: []int{3}, Priority: "interactive"}
+	j, err := s.Submit(inter, true)
+	if err != nil {
+		t.Fatalf("interactive admission at shed level: %v", err)
+	}
+	if j.Lane != LaneInteractive {
+		t.Fatalf("admitted job lane = %s, want interactive", laneName(j.Lane))
+	}
+	// The same canonical request coalesces instead of shedding, even for
+	// the batch flavor (priority is execution-only, not part of the key).
+	interAsBatch := &Request{Kind: KindRun, App: "dense_mmm", Size: "test", Topology: []int{3}}
+	j2, err := s.Submit(interAsBatch, true)
+	if err != nil || j2 != j {
+		t.Fatalf("coalesce under shed: job %p err %v, want %p nil", j2, err, j)
+	}
+
+	s.pressure.Store(int32(pressureBrownout))
+	inter2 := &Request{Kind: KindRun, App: "dense_mmm", Size: "test", Topology: []int{4}, Priority: "interactive"}
+	if _, err := s.Submit(inter2, true); !errors.Is(err, ErrPressure) {
+		t.Fatalf("interactive admission at brownout: err = %v, want ErrPressure", err)
+	}
+	if got := s.reg.CounterValue("serve.pressure.sheds"); got != 2 {
+		t.Fatalf("serve.pressure.sheds = %d, want 2", got)
+	}
+}
+
+// TestOverBudgetRejected: a job whose estimate cannot ever fit the
+// budget is a 413, not a retryable 429 — waiting will not shrink it.
+func TestOverBudgetRejected(t *testing.T) {
+	// tinyRun estimates physmem (128MiB) + overhead; a 64MiB budget can
+	// never hold it.
+	s := newTestServer(t, Config{Workers: 1, MemBudget: 64 << 20, PressureTick: quietTick})
+	if _, err := s.Submit(tinyRun(), true); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("err = %v, want ErrOverBudget", err)
+	}
+	if got := s.reg.CounterValue("serve.rejected.over_budget"); got != 1 {
+		t.Fatalf("serve.rejected.over_budget = %d, want 1", got)
+	}
+	// The refused job left no record behind.
+	if jobs := s.Jobs(); len(jobs) != 0 {
+		t.Fatalf("%d job records after a rejected admission, want 0", len(jobs))
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(tinyRun())
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("HTTP status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestCommitmentShedding: admission is bounded by the sum of admitted-
+// but-unsettled estimates, so a burst of large jobs sheds before the
+// heap ever grows — and the commitment is released when jobs settle.
+func TestCommitmentShedding(t *testing.T) {
+	// Budget fits one tinyRun estimate (160MiB) but not two.
+	s := newTestServer(t, Config{Workers: 1, MemBudget: 200 << 20, PressureTick: quietTick})
+	block := make(chan struct{})
+	s.exec = func(ctx context.Context, j *Job) (Artifacts, *Result, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return Artifacts{"summary.json": []byte("{}")}, &Result{ChecksumOK: true}, nil
+	}
+
+	first := &Request{Kind: KindRun, App: "dense_mmm", Size: "test", Topology: []int{3}}
+	j1, err := s.Submit(first, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := &Request{Kind: KindRun, App: "dense_mmm", Size: "test", Topology: []int{2}}
+	if _, err := s.Submit(second, true); !errors.Is(err, ErrPressure) {
+		t.Fatalf("second admission err = %v, want ErrPressure (commitment shed)", err)
+	}
+	close(block)
+	waitJob(t, j1)
+	// Settling released the commitment: the second job now fits.
+	j2, err := s.Submit(second, true)
+	if err != nil {
+		t.Fatalf("admission after settle: %v", err)
+	}
+	waitJob(t, j2)
+}
+
+// TestHealthzProbes: /healthz/live stays 200 through brownout and
+// drain (alive ≠ ready; restarting a browned-out daemon would destroy
+// its backlog), while /healthz/ready flips to 503 — with a Retry-After
+// hint — under brownout and while draining, and /healthz gains the
+// pressure block when governed.
+func TestHealthzProbes(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MemBudget: 1 << 30, PressureTick: quietTick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, map[string]any, http.Header) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body, resp.Header
+	}
+
+	if code, body, _ := get("/healthz/live"); code != http.StatusOK || body["status"] != "live" {
+		t.Fatalf("live: %d %v", code, body)
+	}
+	if code, body, _ := get("/healthz/ready"); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("ready (nominal): %d %v", code, body)
+	}
+
+	s.pressure.Store(int32(pressureBrownout))
+	code, body, hdr := get("/healthz/ready")
+	if code != http.StatusServiceUnavailable || body["status"] != "brownout" {
+		t.Fatalf("ready (brownout): %d %v", code, body)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("ready 503 Retry-After = %q, want integer >= 1", hdr.Get("Retry-After"))
+	}
+	if code, _, _ := get("/healthz/live"); code != http.StatusOK {
+		t.Fatal("liveness flipped under brownout")
+	}
+	if _, body, _ := get("/healthz"); body["pressure"] == nil {
+		t.Fatal("/healthz on a governed daemon lacks the pressure block")
+	} else if p := body["pressure"].(map[string]any); p["level"] != "brownout" {
+		t.Fatalf("/healthz pressure.level = %v, want brownout", p["level"])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+	if code, body, _ := get("/healthz/ready"); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("ready (draining): %d %v", code, body)
+	}
+	if code, _, _ := get("/healthz/live"); code != http.StatusOK {
+		t.Fatal("liveness flipped while draining")
+	}
+}

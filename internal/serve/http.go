@@ -30,6 +30,15 @@ type JobView struct {
 	Checkpoint uint64 `json:"checkpoint_cycle,omitempty"`
 	Recovered  bool   `json:"recovered,omitempty"`
 	Failure    string `json:"failure_reason,omitempty"`
+
+	// Governance fields. Preempted marks a job currently parked behind a
+	// persisted image awaiting its resume lease; Preempts counts how
+	// often that has happened; MemEstBytes is the admission-time memory
+	// estimate (zero without Config.MemBudget).
+	Lane        string `json:"lane,omitempty"`
+	Preempted   bool   `json:"preempted,omitempty"`
+	Preempts    int    `json:"preempts,omitempty"`
+	MemEstBytes uint64 `json:"mem_est_bytes,omitempty"`
 }
 
 // View snapshots j under the server lock. Artifact names are listed
@@ -37,16 +46,20 @@ type JobView struct {
 func (s *Server) View(j *Job, withRequest bool) JobView {
 	s.mu.Lock()
 	v := JobView{
-		ID:         j.ID,
-		Key:        j.Key,
-		Status:     j.Status,
-		Cached:     j.Cached,
-		Error:      j.Err,
-		Result:     j.Result,
-		WallMS:     j.Wall.Milliseconds(),
-		Attempts:   j.Attempt,
-		Checkpoint: j.Ckpt,
-		Recovered:  j.Recovered,
+		ID:          j.ID,
+		Key:         j.Key,
+		Status:      j.Status,
+		Cached:      j.Cached,
+		Error:       j.Err,
+		Result:      j.Result,
+		WallMS:      j.Wall.Milliseconds(),
+		Attempts:    j.Attempt,
+		Checkpoint:  j.Ckpt,
+		Recovered:   j.Recovered,
+		Lane:        laneName(j.Lane),
+		Preempted:   j.Preempted,
+		Preempts:    j.Preempts,
+		MemEstBytes: j.Budget.EstBytes,
 	}
 	if j.Failure != nil {
 		v.Failure = j.Failure.Reason
@@ -83,6 +96,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -110,12 +125,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	wait := r.URL.Query().Get("wait") == "1"
 	j, err := s.Submit(&req, !wait)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrPressure):
+		// Backpressure: the hint is the estimated queue drain time (never
+		// below the configured floor), so a saturated daemon tells
+		// clients the truth about the wait instead of a constant.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.EstimatedRetryAfter())))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
+	case errors.Is(err, ErrOverBudget):
+		// Not transient: this job can never fit this daemon's budget.
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.EstimatedRetryAfter())))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -259,7 +281,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":  status,
 		"version": version.Get(),
 		"uptime":  time.Since(s.start).Round(time.Second).String(),
@@ -270,7 +292,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cache": map[string]uint64{
 			"entries": uint64(entries), "hits": hits, "misses": misses,
 		},
-	})
+	}
+	if s.governed() {
+		body["pressure"] = map[string]any{
+			"level":        s.level().String(),
+			"budget_bytes": s.cfg.MemBudget,
+			"batch_held":   s.queue.held(),
+		}
+	}
+	writeJSON(w, code, body)
+}
+
+// handleLive is the liveness probe: the process is up and serving HTTP.
+// Always 200 — a draining or browned-out daemon is still alive and must
+// not be restarted out from under its backlog.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "live"})
+}
+
+// handleReady is the readiness probe: 200 only while the daemon is
+// accepting new work. Draining and pressure at or above the brownout
+// watermark (where all fresh admissions shed) report 503 so load
+// balancers steer traffic elsewhere without killing the instance.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready := !s.Draining() && (!s.governed() || s.level() < pressureBrownout)
+	status, code := "ready", http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+		if s.Draining() {
+			status = "draining"
+		} else {
+			status = s.level().String()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.EstimatedRetryAfter())))
+	}
+	writeJSON(w, code, map[string]string{"status": status})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+)
+
+// waitCond polls cond (which may take the server lock) until true.
+func waitCond(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// markVictim polls preemptLargest until it marks a victim (the job must
+// first reach StatusRunning for one to exist).
+func markVictim(t *testing.T, s *Server) {
+	t.Helper()
+	waitCond(t, func() bool { return s.preemptLargest() }, "no preemption victim appeared")
+}
+
+// --- victim selection -------------------------------------------------
+
+func victim(id string, lane int, est uint64, started time.Time) *Job {
+	return &Job{
+		ID: id, Lane: lane, Budget: Budget{EstBytes: est}, Started: started,
+		Status: StatusRunning, Req: &Request{Kind: KindRun},
+	}
+}
+
+// TestBetterVictim pins the preemption order: batch before interactive,
+// then largest memory estimate, then least progress (latest start),
+// then job ID for determinism.
+func TestBetterVictim(t *testing.T) {
+	t0 := time.Now()
+	t1 := t0.Add(time.Second)
+	cases := []struct {
+		name string
+		a, b *Job
+		want bool
+	}{
+		{"batch-before-interactive", victim("a", LaneBatch, 1, t0), victim("b", LaneInteractive, 100, t0), true},
+		{"interactive-spared", victim("a", LaneInteractive, 100, t0), victim("b", LaneBatch, 1, t0), false},
+		{"larger-estimate-first", victim("a", LaneBatch, 200, t0), victim("b", LaneBatch, 100, t0), true},
+		{"smaller-estimate-spared", victim("a", LaneBatch, 100, t0), victim("b", LaneBatch, 200, t0), false},
+		{"least-progress-first", victim("a", LaneBatch, 100, t1), victim("b", LaneBatch, 100, t0), true},
+		{"most-progress-spared", victim("a", LaneBatch, 100, t0), victim("b", LaneBatch, 100, t1), false},
+		{"id-breaks-ties", victim("a", LaneBatch, 100, t0), victim("b", LaneBatch, 100, t0), true},
+	}
+	for _, tc := range cases {
+		if got := betterVictim(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: betterVictim = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPickVictim: only running, not-yet-marked run jobs are candidates
+// — queued jobs, sweeps, and jobs already asked to yield are skipped —
+// and among candidates the batch/largest/youngest order applies.
+func TestPickVictim(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	t0 := time.Now()
+	jobs := []*Job{
+		victim("j1", LaneBatch, 100<<20, t0),
+		victim("j2", LaneBatch, 200<<20, t0), // the pick: batch, largest
+		victim("j3", LaneInteractive, 300<<20, t0),
+	}
+	queued := victim("j4", LaneBatch, 400<<20, t0)
+	queued.Status = StatusQueued
+	sweep := victim("j5", LaneBatch, 500<<20, t0)
+	sweep.Req = &Request{Kind: KindSweep}
+	marked := victim("j6", LaneBatch, 600<<20, t0)
+	marked.preemptReq.Store(true)
+	jobs = append(jobs, queued, sweep, marked)
+
+	s.mu.Lock()
+	for _, j := range jobs {
+		s.jobs[j.ID] = j
+	}
+	for _, want := range []string{"j2", "j1", "j3"} {
+		v := s.pickVictimLocked()
+		if v == nil || v.ID != want {
+			s.mu.Unlock()
+			t.Fatalf("pickVictimLocked = %v, want %s", v, want)
+		}
+		v.preemptReq.Store(true)
+	}
+	if v := s.pickVictimLocked(); v != nil {
+		s.mu.Unlock()
+		t.Fatalf("pickVictimLocked with every candidate marked = %s, want nil", v.ID)
+	}
+	s.mu.Unlock()
+	// Unregister the fabricated records so the drain cleanup does not
+	// trip over jobs that never ran.
+	s.mu.Lock()
+	for _, j := range jobs {
+		delete(s.jobs, j.ID)
+	}
+	s.mu.Unlock()
+}
+
+// TestPreemptRequiresJournal: without a journal there is no image plane
+// to park a preempted job behind, so preemptLargest declines even with
+// an eligible victim.
+func TestPreemptRequiresJournal(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MemBudget: 1 << 40, PressureTick: quietTick})
+	j := victim("j1", LaneBatch, 100<<20, time.Now())
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	if s.preemptLargest() {
+		t.Fatal("preemptLargest marked a victim on a journal-less server")
+	}
+	s.mu.Lock()
+	delete(s.jobs, j.ID)
+	s.mu.Unlock()
+}
+
+// --- preempt / resume byte-identity -----------------------------------
+
+// TestPreemptResumeBitIdentical is the governance difftest: a run that
+// is cooperatively preempted mid-flight — paused at a quiescent
+// boundary, image persisted, re-enqueued, resumed on a fresh lease —
+// must produce artifacts byte-identical to an uninterrupted run, under
+// both scheduler loops, cold and against a warm pool, without burning a
+// retry attempt.
+func TestPreemptResumeBitIdentical(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		c := mustCanonical(t, ckptRun(legacy))
+		wantArt, wantRes, err := Execute(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quantum := wantRes.Cycles / 8
+		if quantum == 0 {
+			t.Fatalf("run too short to preempt (%d cycles)", wantRes.Cycles)
+		}
+		for _, warmPool := range []bool{false, true} {
+			name := map[bool]string{false: "fast", true: "legacy"}[legacy] +
+				"/" + map[bool]string{false: "cold", true: "warm"}[warmPool]
+			t.Run(name, func(t *testing.T) {
+				jdir, cdir := durableDirs(t)
+				s := newTestServer(t, Config{
+					Workers: 1, JournalDir: jdir, CacheDir: cdir,
+					MemBudget: 1 << 40, PressureTick: quietTick,
+					PreemptQuantum: quantum,
+				})
+				if warmPool {
+					// Prime the pool so both the preempted lease and the
+					// resume lease fork a warm image.
+					if _, _, err := ExecuteWarm(context.Background(), c, s.warm); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Arm the preemption while the job is parked behind a held
+				// lane, so the request is visible before the first cycle
+				// executes and the first pause-slice boundary always yields.
+				// (markVictim against a free-running job races the run's
+				// last boundary — a warm fork finishes in milliseconds.)
+				s.queue.setHold(true)
+				j, err := s.Submit(ckptRun(legacy), true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				j.preemptReq.Store(true)
+				s.queue.setHold(false)
+				waitJob(t, j)
+				if j.Status != StatusDone {
+					t.Fatalf("status=%s err=%q", j.Status, j.Err)
+				}
+				s.mu.Lock()
+				preempts, attempt := j.Preempts, j.Attempt
+				s.mu.Unlock()
+				if preempts < 1 {
+					t.Fatal("job completed without being preempted")
+				}
+				if attempt != 1 {
+					t.Fatalf("attempt = %d after preemption, want 1 (preemption must not burn the retry budget)", attempt)
+				}
+				if j.Result.Cycles != wantRes.Cycles || j.Result.Checksum != wantRes.Checksum {
+					t.Fatalf("resumed result diverged: %+v != %+v", j.Result, wantRes)
+				}
+				gotArt, ok := s.cache.Peek(j.Key)
+				if !ok {
+					t.Fatal("done job has no artifacts")
+				}
+				assertSameArtifacts(t, wantArt, gotArt)
+				if got := s.reg.CounterValue("serve.jobs.preempted"); got < 1 {
+					t.Fatalf("serve.jobs.preempted = %d, want >= 1", got)
+				}
+				if got := s.reg.CounterValue("serve.resume.restores"); got < 1 {
+					t.Fatalf("serve.resume.restores = %d, want >= 1 (resume lease did not use the image)", got)
+				}
+			})
+		}
+	}
+}
+
+// TestPreemptedCrashReplay: the process dies while a preempted job sits
+// in the queue behind its persisted image. The journal's preempted
+// record makes the successor replay it as a resume lease: the job picks
+// up from the image (not from scratch), finishes byte-identical, and
+// the interrupted lease is not double-counted.
+func TestPreemptedCrashReplay(t *testing.T) {
+	c := mustCanonical(t, tinyRun())
+	wantArt, wantRes, err := Execute(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jdir, cdir := durableDirs(t)
+	cfg := Config{
+		Workers: 1, JournalDir: jdir, CacheDir: cdir,
+		MemBudget: 1 << 40, PressureTick: quietTick,
+		PreemptQuantum: wantRes.Cycles / 8,
+	}
+	s1, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s1.Submit(tinyRun(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Once the job is running, hold the batch lane so the preempted job
+	// cannot be re-leased: the crash below deterministically lands while
+	// it is parked in the queue, preempted record journaled, image on
+	// disk. (The hold must come after dispatch, or the job never starts.)
+	waitCond(t, func() bool {
+		s1.mu.Lock()
+		defer s1.mu.Unlock()
+		return j1.Status == StatusRunning
+	}, "job never started running")
+	s1.queue.setHold(true)
+	markVictim(t, s1)
+	waitCond(t, func() bool {
+		s1.mu.Lock()
+		defer s1.mu.Unlock()
+		return j1.Preempted
+	}, "job was never preempted")
+	img := (&CheckpointSpec{Dir: jdir}).path(j1.Key)
+	if _, err := os.Stat(img); err != nil {
+		t.Fatalf("preempted job left no image: %v", err)
+	}
+	crash(s1)
+
+	s2 := newTestServer(t, cfg)
+	jobs := s2.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs after crash, want 1", len(jobs))
+	}
+	j2 := jobs[0]
+	if j2.ID != j1.ID || !j2.Recovered {
+		t.Fatalf("recovered job = %s (recovered=%v), want %s", j2.ID, j2.Recovered, j1.ID)
+	}
+	waitJob(t, j2)
+	if j2.Status != StatusDone {
+		t.Fatalf("status=%s err=%q", j2.Status, j2.Err)
+	}
+	s2.mu.Lock()
+	attempt := j2.Attempt
+	s2.mu.Unlock()
+	if attempt != 1 {
+		t.Fatalf("attempt = %d, want 1 (preempted-at-crash job was not mid-lease)", attempt)
+	}
+	if got := s2.reg.CounterValue("serve.resume.restores"); got < 1 {
+		t.Fatalf("serve.resume.restores = %d, want >= 1 (replayed job did not resume from its image)", got)
+	}
+	gotArt, ok := s2.cache.Peek(j2.Key)
+	if !ok {
+		t.Fatal("done job has no artifacts")
+	}
+	assertSameArtifacts(t, wantArt, gotArt)
+}
+
+// --- preemption racing drain ------------------------------------------
+
+// TestRequeuePreemptedDrainRace (unit): when Drain closes the queue
+// between the preemption and the re-enqueue, requeuePreempted reports
+// failure and restores the running state, with the resume flag left
+// armed so the worker's inline continuation picks up from the image.
+func TestRequeuePreemptedDrainRace(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	s.queue.close()
+	j := &Job{ID: "t1", Key: "k", Status: StatusRunning, Req: mustCanonical(t, tinyRun())}
+	if s.requeuePreempted(j, time.Millisecond) {
+		t.Fatal("requeuePreempted succeeded on a closed queue")
+	}
+	if j.Status != StatusRunning || j.Preempted {
+		t.Fatalf("job not restored to running: status=%s preempted=%v", j.Status, j.Preempted)
+	}
+	if !j.resume {
+		t.Fatal("resume flag not armed for the inline continuation")
+	}
+	if j.Preempts != 1 {
+		t.Fatalf("preempts = %d, want 1 (the preemption did happen)", j.Preempts)
+	}
+}
+
+// TestPreemptDuringDrain (end to end): a preemption request racing a
+// drain never loses the job — whichever side wins, the job reaches
+// done with byte-identical artifacts before Drain returns.
+func TestPreemptDuringDrain(t *testing.T) {
+	c := mustCanonical(t, tinyRun())
+	wantArt, wantRes, err := Execute(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jdir, cdir := durableDirs(t)
+	s := newTestServer(t, Config{
+		Workers: 1, JournalDir: jdir, CacheDir: cdir,
+		MemBudget: 1 << 40, PressureTick: quietTick,
+		PreemptQuantum: wantRes.Cycles / 8,
+	})
+	j, err := s.Submit(tinyRun(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markVictim(t, s)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if j.Status != StatusDone {
+		t.Fatalf("after drain: status=%s err=%q (preempted job lost to the race)", j.Status, j.Err)
+	}
+	gotArt, ok := s.cache.Peek(j.Key)
+	if !ok {
+		t.Fatal("done job has no artifacts")
+	}
+	assertSameArtifacts(t, wantArt, gotArt)
+}

@@ -68,10 +68,11 @@ type Request struct {
 	Watchdog    uint64   `json:"watchdog,omitempty"`     // livelock horizon, cycles
 
 	// --- execution-only (never in the cache key) ----------------------
-	Parallel     int  `json:"parallel,omitempty"`       // host workers for sweep fan-out
-	LegacyLoop   bool `json:"legacy_loop,omitempty"`    // force the legacy execution loop
-	NoDataWindow bool `json:"no_data_window,omitempty"` // disable the data-window cache
-	NoSuperblock bool `json:"no_superblock,omitempty"`  // disable superblock compilation
+	Parallel     int    `json:"parallel,omitempty"`       // host workers for sweep fan-out
+	LegacyLoop   bool   `json:"legacy_loop,omitempty"`    // force the legacy execution loop
+	NoDataWindow bool   `json:"no_data_window,omitempty"` // disable the data-window cache
+	NoSuperblock bool   `json:"no_superblock,omitempty"`  // disable superblock compilation
+	Priority     string `json:"priority,omitempty"`       // queue lane: "batch" (default) or "interactive"
 }
 
 // DefaultSignalCost is the paper's conservative signal estimate,
@@ -162,7 +163,24 @@ func (req *Request) Canonicalize() (*Request, error) {
 	if c.Parallel < 0 {
 		c.Parallel = 0
 	}
+	switch c.Priority {
+	case "":
+		c.Priority = "batch"
+	case "batch", "interactive":
+	default:
+		return nil, fmt.Errorf("serve: unknown priority %q (want interactive or batch)", c.Priority)
+	}
 	return &c, nil
+}
+
+// laneOf maps a canonical request's priority to its queue lane.
+// Priority is execution-only: it orders dispatch and picks preemption
+// victims, never changes artifacts, and stays out of the cache key.
+func laneOf(c *Request) int {
+	if c.Priority == "interactive" {
+		return LaneInteractive
+	}
+	return LaneBatch
 }
 
 // keySchema versions the canonical encoding; bump it whenever a

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -44,9 +45,13 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 // waitJob blocks until j is terminal (bounded).
 func waitJob(t *testing.T, j *Job) {
 	t.Helper()
+	// Generous ceiling: under -race with parallel chaos seeds and
+	// sibling package binaries contending for the host, a preempted-
+	// and-resumed tiny run can legitimately take over a minute. A true
+	// hang still fails — it just reports later.
 	select {
 	case <-j.Done():
-	case <-time.After(60 * time.Second):
+	case <-time.After(3 * time.Minute):
 		t.Fatalf("job %s did not finish", j.ID)
 	}
 }
@@ -66,7 +71,8 @@ func TestKeyIgnoresExecutionKnobs(t *testing.T) {
 		func(r *Request) { r.LegacyLoop = true },
 		func(r *Request) { r.NoDataWindow = true },
 		func(r *Request) { r.NoSuperblock = true },
-		func(r *Request) { r.Parallel = 4; r.LegacyLoop = true; r.NoDataWindow = true; r.NoSuperblock = true },
+		func(r *Request) { r.Priority = "interactive" },
+		func(r *Request) { r.Parallel = 4; r.LegacyLoop = true; r.NoDataWindow = true; r.NoSuperblock = true; r.Priority = "interactive" },
 	} {
 		req := &Request{Kind: KindSweep, Apps: []string{"dense_mmm"}, Size: "test"}
 		mutate(req)
@@ -522,8 +528,12 @@ func TestHTTPAPI(t *testing.T) {
 	if resp429.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overfull submit: %d, want 429", resp429.StatusCode)
 	}
-	if ra := resp429.Header.Get("Retry-After"); ra != "3" {
-		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	// The hint is a drain-time estimate floored at the configured
+	// RetryAfter (3s here): assert the floor, not an exact value — a
+	// loaded queue may legitimately estimate longer.
+	ra, err := strconv.Atoi(resp429.Header.Get("Retry-After"))
+	if err != nil || ra < 3 {
+		t.Fatalf("Retry-After = %q, want numeric >= 3", resp429.Header.Get("Retry-After"))
 	}
 }
 

@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"misp/internal/fault"
 	"misp/internal/journal"
 	"misp/internal/obs"
 	"misp/internal/workloads"
@@ -66,9 +68,28 @@ type Job struct {
 	Recovered bool
 	Failure   *JobError
 
+	// Governance state. Lane is the priority lane ordering the queue
+	// (execution-only, from Request.Priority); Budget is the admission-
+	// time resource envelope (zero without Config.MemBudget); Preempted
+	// marks a job currently re-queued after a cooperative preemption;
+	// Preempts counts preemptions this process has applied to the job.
+	Lane      int
+	Budget    Budget
+	Preempted bool
+	Preempts  int
+
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 	done   chan struct{}
+
+	// preemptReq asks the worker executing this job to yield at its next
+	// quiescent pause boundary (set by the pressure monitor, polled by
+	// the checkpointing executor — SetPause itself is not goroutine-safe,
+	// so the request travels as a flag, never a direct pause).
+	preemptReq atomic.Bool
+	// resume marks the next execution lease as the continuation of a
+	// preempted one: it re-leases without burning a retry attempt.
+	resume bool
 
 	// refs counts live waiters. A job submitted synchronously (detached
 	// == false) whose last waiter disconnects before completion is
@@ -119,6 +140,34 @@ type Config struct {
 	// admission; a job still running past it fails with a JobError
 	// (reason deadline-exceeded) rather than retrying (0 = no budget).
 	JobTimeout time.Duration
+
+	// MemBudget is the host heap budget in bytes and the master switch
+	// for resource governance (0 = governance off, the historical
+	// behavior). With a budget set, every admission computes a Budget,
+	// over-budget jobs are rejected outright, the committed estimate is
+	// bounded by the budget, and the pressure monitor escalates through
+	// shed → brownout → preempt as the heap approaches it.
+	MemBudget uint64
+	// ShedFrac, BrownoutFrac, CriticalFrac are the escalation watermarks
+	// as fractions of MemBudget (defaults 0.70, 0.85, 0.95).
+	ShedFrac     float64
+	BrownoutFrac float64
+	CriticalFrac float64
+	// PressureTick is the pressure monitor cadence (default 250ms).
+	PressureTick time.Duration
+	// PreemptQuantum is the pause-slice cadence, in simulated cycles, at
+	// which a governed run reaches a quiescent boundary and polls for a
+	// preemption request (default 1e6). Requires JournalDir — the
+	// preempted image must outlive the worker.
+	PreemptQuantum uint64
+	// BrownoutCheckpointScale multiplies CheckpointCycles for jobs that
+	// start during a brownout, reducing checkpoint cadence (and the
+	// transient capture memory it costs) while the host is tight
+	// (default 4).
+	BrownoutCheckpointScale uint64
+	// Logf, when set, receives operational log lines (pressure
+	// transitions, preemptions). Printf-style; nil discards.
+	Logf func(format string, args ...any)
 }
 
 func (c *Config) defaults() {
@@ -140,6 +189,24 @@ func (c *Config) defaults() {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 250 * time.Millisecond
 	}
+	if c.ShedFrac <= 0 {
+		c.ShedFrac = 0.70
+	}
+	if c.BrownoutFrac <= 0 {
+		c.BrownoutFrac = 0.85
+	}
+	if c.CriticalFrac <= 0 {
+		c.CriticalFrac = 0.95
+	}
+	if c.PressureTick <= 0 {
+		c.PressureTick = 250 * time.Millisecond
+	}
+	if c.PreemptQuantum == 0 {
+		c.PreemptQuantum = 1_000_000
+	}
+	if c.BrownoutCheckpointScale == 0 {
+		c.BrownoutCheckpointScale = 4
+	}
 }
 
 // Server is the service plane: admission control in front of a bounded
@@ -150,13 +217,14 @@ type Server struct {
 	cache *Cache
 	start time.Time
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string        // submission order, for listing
-	inflight map[string]*Job // key → non-terminal job (single-flight)
-	queue    chan *Job
-	draining bool
-	seq      int
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string        // submission order, for listing
+	inflight  map[string]*Job // key → non-terminal job (single-flight)
+	queue     *laneQueue
+	draining  bool
+	seq       int
+	committed uint64 // admitted-but-unsettled estimated bytes (governed only)
 
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
@@ -188,6 +256,17 @@ type Server struct {
 	// holds post-prepare state (no results), so it composes with — not
 	// replaces — the result cache.
 	warm *workloads.WarmPool
+
+	// Governance plumbing. est predicts queue drain time for Retry-After
+	// hints; pressure is the monitor's current escalation level (atomic:
+	// read on the admission path without mu); heapBytes is the heap
+	// reader (obs.HostHeapBytes, injectable in tests like exec); govStop
+	// ends the monitor goroutine at drain.
+	est       drainEstimator
+	pressure  atomic.Int32
+	heapBytes func() uint64
+	govStop   chan struct{}
+	mPreempt  *obs.Counter
 }
 
 // NewServer builds and starts a server: its workers are running and
@@ -213,6 +292,8 @@ func NewServer(cfg Config) (*Server, error) {
 		warm:     workloads.NewWarmPool(),
 	}
 	s.exec = s.executeJob
+	s.heapBytes = obs.HostHeapBytes
+	s.govStop = make(chan struct{})
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	s.mSubmitted = s.reg.Counter("serve.jobs.submitted")
 	s.mCompleted = s.reg.Counter("serve.jobs.completed")
@@ -229,9 +310,14 @@ func NewServer(cfg Config) (*Server, error) {
 		"serve.journal.replayed", "serve.journal.torn_bytes", "serve.journal.rotations",
 		"serve.resume.jobs", "serve.resume.deduped", "serve.resume.failed",
 		"serve.resume.checkpoints", "serve.resume.restores", "serve.resume.corrupt",
+		"serve.pressure.level", "serve.pressure.heap_bytes", "serve.pressure.sheds",
+		"serve.pressure.transitions", "serve.pressure.brownouts",
+		"serve.pressure.preempt_requests", "serve.rejected.over_budget",
+		"serve.brownout.colds", "serve.queue.wait_est_ms",
 	} {
 		s.reg.Counter(name)
 	}
+	s.mPreempt = s.reg.Counter("serve.jobs.preempted")
 	s.mWallMS = s.reg.Histogram("serve.job.wall_ms")
 
 	var recovered []*Job
@@ -251,30 +337,55 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		s.reg.Counter("serve.journal.rotations").Inc()
 	}
-	// The queue must absorb every recovered job on top of the
-	// configured admission bound, or recovery could deadlock on its own
-	// backlog before the workers exist.
-	s.queue = make(chan *Job, cfg.QueueDepth+len(recovered))
+	// Recovered jobs bypass the admission bound (they were already
+	// accepted once — re-admission cannot be refused), exactly like the
+	// old channel queue's recovered-slack capacity.
+	s.queue = newLaneQueue()
 	for _, j := range recovered {
-		s.queue <- j
+		s.queue.push(j)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.governed() {
+		s.wg.Add(1)
+		go s.governor()
 	}
 	return s, nil
 }
 
 // executeJob is the default execution path: the warm pool composed
 // with, when the durable plane is configured, periodic mid-run
-// checkpoints journaled per image.
+// checkpoints journaled per image — plus, under governance, the cycle
+// budget, the preemption poll, and the brownout degradations (a job
+// starting at or above the brownout watermark runs cold, growing no
+// warm-pool image, on a stretched checkpoint cadence).
 func (s *Server) executeJob(ctx context.Context, j *Job) (Artifacts, *Result, error) {
-	if s.jnl == nil || s.cfg.CheckpointCycles == 0 {
-		return ExecuteWarm(ctx, j.Req, s.warm)
+	warm := s.warm
+	every := s.cfg.CheckpointCycles
+	var quantum uint64
+	var preempt func() bool
+	if s.governed() {
+		if s.level() >= pressureBrownout {
+			warm = nil
+			every *= s.cfg.BrownoutCheckpointScale
+			s.mu.Lock()
+			s.reg.Counter("serve.brownout.colds").Inc()
+			s.mu.Unlock()
+		}
+		quantum = s.cfg.PreemptQuantum
+		preempt = func() bool { return j.preemptReq.Load() && !s.Draining() }
+	}
+	if s.jnl == nil || (every == 0 && quantum == 0) {
+		return ExecuteWarm(ctx, j.Req, warm)
 	}
 	cs := &CheckpointSpec{
-		Dir:   s.cfg.JournalDir,
-		Every: s.cfg.CheckpointCycles,
+		Dir:       s.cfg.JournalDir,
+		Every:     every,
+		Quantum:   quantum,
+		Preempt:   preempt,
+		MaxCycles: j.Budget.MaxCycles,
 		OnCheckpoint: func(cycle uint64) {
 			s.mu.Lock()
 			j.Ckpt = cycle
@@ -293,7 +404,7 @@ func (s *Server) executeJob(ctx context.Context, j *Job) (Artifacts, *Result, er
 			s.mu.Unlock()
 		},
 	}
-	return ExecuteCheckpointed(ctx, j.Req, s.warm, cs)
+	return ExecuteCheckpointed(ctx, j.Req, warm, cs)
 }
 
 // RetryAfter is the configured backpressure hint.
@@ -346,11 +457,18 @@ func (s *Server) admitLocked(c *Request, key string, detached bool) (*Job, bool,
 		return nil, false, ErrDraining
 	}
 
-	// Single-flight: piggyback on an identical in-flight job.
+	// Single-flight: piggyback on an identical in-flight job. An
+	// interactive submission promotes the job's lane (best-effort: a
+	// job already sitting in the batch backlog keeps its position, but
+	// dispatch preference and preemption-victim ordering see the
+	// promotion).
 	if j := s.inflight[key]; j != nil {
 		s.mCoalesced.Inc()
 		if detached {
 			j.detached = true
+		}
+		if laneOf(c) == LaneInteractive {
+			j.Lane = LaneInteractive
 		}
 		return j, false, nil
 	}
@@ -369,20 +487,30 @@ func (s *Server) admitLocked(c *Request, key string, detached bool) (*Job, bool,
 		return j, false, nil
 	}
 
-	// Admission: accept only if the bounded queue has room.
+	// Admission: the governance checks (estimate the budget, reject
+	// over-budget and pressure-shed submissions), then the queue bound.
 	j := s.newJobLocked(c, key, detached)
-	select {
-	case s.queue <- j:
-	default:
-		delete(s.jobs, j.ID)
-		s.order = s.order[:len(s.order)-1]
+	if err := s.admitGovernedLocked(j); err != nil {
+		s.dropJobLocked(j)
+		return nil, false, err
+	}
+	if s.queue.len() >= s.cfg.QueueDepth || !s.queue.push(j) {
+		s.dropJobLocked(j)
 		s.mRejFull.Inc()
 		return nil, false, ErrQueueFull
 	}
 	j.Status = StatusQueued
 	s.inflight[key] = j
+	s.committed += j.Budget.EstBytes
 	s.mSubmitted.Inc()
 	return j, true, nil
+}
+
+// dropJobLocked unregisters a job that was allocated but refused
+// admission. Called with mu held, immediately after newJobLocked.
+func (s *Server) dropJobLocked(j *Job) {
+	delete(s.jobs, j.ID)
+	s.order = s.order[:len(s.order)-1]
 }
 
 // newJobLocked allocates and registers a job record. Called with mu
@@ -393,6 +521,7 @@ func (s *Server) newJobLocked(c *Request, key string, detached bool) *Job {
 		ID:       fmt.Sprintf("j%d-%s", s.seq, key[:8]),
 		Key:      key,
 		Req:      c,
+		Lane:     laneOf(c),
 		Created:  time.Now(),
 		done:     make(chan struct{}),
 		detached: detached,
@@ -472,7 +601,11 @@ func (s *Server) ReleaseWaiter(j *Job) {
 // worker executes queued jobs until the queue is closed (drain).
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
 }
@@ -483,7 +616,10 @@ func (s *Server) worker() {
 // burned lease and either retries with the remaining budget or fails
 // the job. In-process failures retry with jittered exponential backoff
 // until MaxRetries attempts are spent, then settle as a structured
-// JobError; cancellation and deadline expiry are never retried.
+// JobError; cancellation and deadline expiry are never retried. A lease
+// ending in cooperative preemption does not settle at all: the job goes
+// back to the queue (resume leases continue the same attempt — being
+// preempted never burns the retry budget).
 func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	if err := context.Cause(j.ctx); err != nil {
@@ -493,16 +629,19 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	j.Status = StatusRunning
+	j.Preempted = false
 	j.Started = time.Now()
+	resume := j.resume
+	j.resume = false
 	s.mu.Unlock()
 
 	ctx := j.ctx
-	if s.cfg.JobTimeout > 0 {
+	if deadline, ok := s.jobDeadline(j); ok {
 		// The budget runs from admission, so time spent queued (or in a
 		// previous incarnation of the process) counts against it. The
 		// deadline cause carries the structured diagnosis.
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithDeadlineCause(j.ctx, j.Created.Add(s.cfg.JobTimeout),
+		ctx, cancel = context.WithDeadlineCause(j.ctx, deadline,
 			&JobError{ID: j.ID, Key: j.Key, Reason: ReasonDeadline})
 		defer cancel()
 	}
@@ -515,16 +654,32 @@ func (s *Server) runJob(j *Job) {
 	)
 	for {
 		s.mu.Lock()
-		j.Attempt++
-		attempt = j.Attempt
-		if attempt > 1 {
-			s.mRetries.Inc()
+		if resume {
+			// Continuation of a preempted lease: same attempt number.
+			resume = false
+			if j.Attempt == 0 {
+				j.Attempt = 1
+			}
+		} else {
+			j.Attempt++
+			if j.Attempt > 1 {
+				s.mRetries.Inc()
+			}
 		}
+		attempt = j.Attempt
 		s.mu.Unlock()
 		s.journalAppend(jrec{Op: opStarted, ID: j.ID, Attempt: attempt})
 
 		art, res, err = s.exec(ctx, j)
-		if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if err == nil || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrPreempted) {
+			break
+		}
+		if cycleBudgetExceeded(j, err) {
+			// The cycle budget tripped core's deterministic MaxCycles
+			// abort; re-running would burn the identical cycles to the
+			// identical verdict, so the retry budget does not apply.
+			err = &JobError{ID: j.ID, Key: j.Key, Reason: ReasonBudget, Attempts: attempt, Err: err}
 			break
 		}
 		if attempt >= s.cfg.MaxRetries {
@@ -546,6 +701,19 @@ func (s *Server) runJob(j *Job) {
 		}
 	}
 	wall := time.Since(j.Started)
+	s.est.observe(wall) // every lease frees a worker slot: feed the drain estimator
+
+	if errors.Is(err, ErrPreempted) {
+		if s.requeuePreempted(j, wall) {
+			return // the job is queued again; this worker moves on
+		}
+		// Drain closed the queue between the preemption request and the
+		// re-enqueue. The job is never lost: finish it inline on this
+		// worker (the resume flag set by requeuePreempted makes the
+		// continued lease pick up from the persisted image).
+		s.runJob(j)
+		return
+	}
 
 	var putErr error
 	if err == nil {
@@ -554,14 +722,67 @@ func (s *Server) runJob(j *Job) {
 		putErr = s.cache.Put(j.Key, art)
 	}
 	s.mu.Lock()
-	j.Wall = wall
+	j.Wall += wall
 	if putErr != nil {
 		s.reg.Counter("serve.cache.put_errors").Inc()
 	}
 	s.settleLocked(j, res, err)
-	s.mWallMS.Observe(uint64(wall.Milliseconds()))
+	s.mWallMS.Observe(uint64(j.Wall.Milliseconds()))
 	s.mu.Unlock()
 	s.journalTerminal(j)
+}
+
+// jobDeadline resolves a job's wall deadline: the tighter of the
+// configured JobTimeout and the job's admission-time wall budget, both
+// measured from admission.
+func (s *Server) jobDeadline(j *Job) (time.Time, bool) {
+	limit := s.cfg.JobTimeout
+	if j.Budget.MaxWall > 0 && (limit == 0 || j.Budget.MaxWall < limit) {
+		limit = j.Budget.MaxWall
+	}
+	if limit == 0 {
+		return time.Time{}, false
+	}
+	return j.Created.Add(limit), true
+}
+
+// cycleBudgetExceeded reports whether err is core's cycle-limit abort
+// on a job whose admission budget set (or tightened) that limit.
+func cycleBudgetExceeded(j *Job, err error) bool {
+	if j.Budget.MaxCycles == 0 {
+		return false
+	}
+	var d *fault.Diagnosis
+	return errors.As(err, &d) && d.Reason == fault.ReasonCycleLimit
+}
+
+// requeuePreempted returns a cooperatively preempted job to the queue
+// (preempted:true, resume lease armed). Returns false when the queue
+// has closed — drain won the race — in which case the caller must
+// finish the job on its own worker.
+func (s *Server) requeuePreempted(j *Job, wall time.Duration) bool {
+	s.mu.Lock()
+	j.preemptReq.Store(false)
+	j.Wall += wall
+	j.Preempts++
+	j.Preempted = true
+	j.Status = StatusQueued
+	j.resume = true
+	s.mPreempt.Inc()
+	ckpt := j.Ckpt
+	s.mu.Unlock()
+	// The preemption record makes the state survive a crash while the
+	// job sits in the queue: replay re-enqueues it as a resume lease.
+	s.journalAppend(jrec{Op: opPreempted, ID: j.ID, Cycle: ckpt})
+	if s.queue.push(j) {
+		s.logf("job %s preempted at cycle %d, re-enqueued (lane %s)", j.ID, ckpt, laneName(j.Lane))
+		return true
+	}
+	s.mu.Lock()
+	j.Preempted = false
+	j.Status = StatusRunning
+	s.mu.Unlock()
+	return false
 }
 
 // settleLocked moves a job to its terminal status. Called with mu
@@ -596,11 +817,18 @@ func (s *Server) settleLocked(j *Job, res *Result, err error) {
 	if s.inflight[j.Key] == j {
 		delete(s.inflight, j.Key)
 	}
+	// Release the job's admission commitment (guarded: cache hits and
+	// ungoverned jobs committed nothing).
+	if s.committed >= j.Budget.EstBytes {
+		s.committed -= j.Budget.EstBytes
+	} else {
+		s.committed = 0
+	}
 	close(j.done)
 }
 
 // QueueDepth returns (queued, capacity).
-func (s *Server) QueueDepth() (int, int) { return len(s.queue), cap(s.queue) }
+func (s *Server) QueueDepth() (int, int) { return s.queue.len(), s.cfg.QueueDepth }
 
 // Counts returns job-status aggregates for health reporting.
 func (s *Server) Counts() (queued, running, done, failed, canceled int) {
@@ -642,7 +870,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue) // workers finish the backlog, then exit
+		s.queue.close() // workers finish the backlog, then exit
+		close(s.govStop)
 	}
 	s.mu.Unlock()
 
@@ -678,9 +907,10 @@ func (s *Server) closeJournal() {
 // Metrics renders the service metrics registry plus the live gauges
 // (queue depth, in-flight jobs, cache hit rate) as plain text.
 func (s *Server) Metrics() string {
+	queued := s.queue.len()
+	waitEst := s.EstimatedRetryAfter()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	queued := len(s.queue)
 	running := 0
 	for _, j := range s.jobs {
 		if j.Status == StatusRunning {
@@ -692,10 +922,15 @@ func (s *Server) Metrics() string {
 	s.reg.Counter("serve.warm.forks").Set(warmHits)
 	s.reg.Counter("serve.warm.prepares").Set(warmMisses)
 	s.reg.Counter("serve.queue.depth").Set(uint64(queued))
-	s.reg.Counter("serve.queue.capacity").Set(uint64(cap(s.queue)))
+	s.reg.Counter("serve.queue.capacity").Set(uint64(s.cfg.QueueDepth))
+	s.reg.Counter("serve.queue.wait_est_ms").Set(uint64(waitEst.Milliseconds()))
 	s.reg.Counter("serve.jobs.inflight").Set(uint64(running))
 	s.reg.Counter("serve.cache.entries").Set(uint64(entries))
 	s.reg.Counter("serve.cache.hits").Set(hits)
 	s.reg.Counter("serve.cache.misses").Set(misses)
+	if s.governed() {
+		s.reg.Counter("serve.pressure.committed_bytes").Set(s.committed)
+		s.reg.Counter("serve.pressure.budget_bytes").Set(s.cfg.MemBudget)
+	}
 	return s.reg.String()
 }
